@@ -1,0 +1,136 @@
+// Micro-benchmarks behind Table II's cost rows: single-sample prediction
+// latency and training throughput for each model class on 387-feature data.
+// The paper's headline cost contrast — SVM-RBF needs ~110x the prediction
+// operations of RF — shows up directly in the per-sample latencies here.
+
+#include <benchmark/benchmark.h>
+
+#include "baselines/neural_net.hpp"
+#include "baselines/rusboost.hpp"
+#include "baselines/svm_rbf.hpp"
+#include "core/random_forest.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+Dataset make_data(std::size_t n_rows, std::uint64_t seed) {
+  Dataset d(387);
+  Rng rng(seed);
+  std::vector<float> x(387);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    const double danger = 2.0 * x[5] + 1.5 * x[17] +
+                          (x[5] > 0.7 && x[42] > 0.5 ? 1.5 : 0.0) +
+                          0.6 * rng.normal();
+    d.append_row(x, danger > 2.6 ? 1 : 0, 0);
+  }
+  return d;
+}
+
+const Dataset& shared_data() {
+  static const Dataset data = make_data(6000, 21);
+  return data;
+}
+
+// ------------------------------------------------------------- prediction
+
+void BM_Predict_RF(benchmark::State& state) {
+  RandomForestOptions options;
+  options.n_trees = static_cast<int>(state.range(0));
+  options.n_threads = 1;
+  RandomForestClassifier model(options);
+  model.fit(shared_data());
+  const auto x = shared_data().row(0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict_proba(x));
+  state.counters["pred_ops"] = static_cast<double>(model.prediction_ops());
+}
+BENCHMARK(BM_Predict_RF)->Arg(150)->Arg(500)->Unit(benchmark::kMicrosecond);
+
+void BM_Predict_SVM(benchmark::State& state) {
+  SvmRbfOptions options;
+  options.max_training_samples = static_cast<std::size_t>(state.range(0));
+  SvmRbfClassifier model(options);
+  model.fit(shared_data());
+  const auto x = shared_data().row(0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict_proba(x));
+  state.counters["pred_ops"] = static_cast<double>(model.prediction_ops());
+  state.counters["n_sv"] = static_cast<double>(model.n_support_vectors());
+}
+BENCHMARK(BM_Predict_SVM)->Arg(1000)->Arg(2000)->Unit(benchmark::kMicrosecond);
+
+void BM_Predict_RUSBoost(benchmark::State& state) {
+  RusBoostClassifier model;
+  model.fit(shared_data());
+  const auto x = shared_data().row(0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict_proba(x));
+  state.counters["pred_ops"] = static_cast<double>(model.prediction_ops());
+}
+BENCHMARK(BM_Predict_RUSBoost)->Unit(benchmark::kMicrosecond);
+
+void BM_Predict_NN(benchmark::State& state) {
+  NeuralNetOptions options;
+  options.hidden_sizes = state.range(0) == 1 ? std::vector<int>{40}
+                                             : std::vector<int>{40, 10};
+  options.epochs = 3;
+  NeuralNetClassifier model(options);
+  model.fit(shared_data());
+  const auto x = shared_data().row(0);
+  for (auto _ : state) benchmark::DoNotOptimize(model.predict_proba(x));
+  state.counters["pred_ops"] = static_cast<double>(model.prediction_ops());
+}
+BENCHMARK(BM_Predict_NN)->Arg(1)->Arg(2)->Unit(benchmark::kMicrosecond);
+
+// --------------------------------------------------------------- training
+
+void BM_Fit_RF(benchmark::State& state) {
+  RandomForestOptions options;
+  options.n_trees = static_cast<int>(state.range(0));
+  options.n_threads = 1;
+  for (auto _ : state) {
+    RandomForestClassifier model(options);
+    model.fit(shared_data());
+    benchmark::DoNotOptimize(model.n_parameters());
+  }
+}
+BENCHMARK(BM_Fit_RF)->Arg(50)->Arg(150)->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_Fit_SVM(benchmark::State& state) {
+  SvmRbfOptions options;
+  options.max_training_samples = 1500;
+  for (auto _ : state) {
+    SvmRbfClassifier model(options);
+    model.fit(shared_data());
+    benchmark::DoNotOptimize(model.n_support_vectors());
+  }
+}
+BENCHMARK(BM_Fit_SVM)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fit_RUSBoost(benchmark::State& state) {
+  RusBoostOptions options;
+  options.n_rounds = 50;
+  for (auto _ : state) {
+    RusBoostClassifier model(options);
+    model.fit(shared_data());
+    benchmark::DoNotOptimize(model.n_parameters());
+  }
+}
+BENCHMARK(BM_Fit_RUSBoost)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+void BM_Fit_NN1(benchmark::State& state) {
+  NeuralNetOptions options;
+  options.hidden_sizes = {40};
+  options.epochs = 10;
+  for (auto _ : state) {
+    NeuralNetClassifier model(options);
+    model.fit(shared_data());
+    benchmark::DoNotOptimize(model.n_parameters());
+  }
+}
+BENCHMARK(BM_Fit_NN1)->Unit(benchmark::kMillisecond)->Iterations(1);
+
+}  // namespace
+}  // namespace drcshap
+
+BENCHMARK_MAIN();

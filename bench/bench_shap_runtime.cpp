@@ -1,0 +1,119 @@
+// Micro-benchmarks for the Section IV-B runtime claims: per-sample SHAP
+// tree-explainer latency as a function of ensemble size and tree depth
+// (the paper reports 1.4 s/sample for its 500-tree RF on 387 features),
+// plus the plain prediction latency for comparison and the exponential
+// brute-force Shapley as a scale reference.
+
+#include <benchmark/benchmark.h>
+
+#include "core/brute_force_shap.hpp"
+#include "core/tree_shap.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+/// Synthetic 387-feature task resembling the DRC dataset (sparse positives,
+/// interactions between a few congestion-like features).
+Dataset make_data(std::size_t n_rows, std::size_t n_features,
+                  std::uint64_t seed) {
+  Dataset d(n_features);
+  Rng rng(seed);
+  std::vector<float> x(n_features);
+  for (std::size_t i = 0; i < n_rows; ++i) {
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    const double danger =
+        2.0 * x[5] + 1.5 * x[17] + (x[5] > 0.7 && x[42] > 0.5 ? 1.5 : 0.0) +
+        0.6 * rng.normal();
+    d.append_row(x, danger > 2.6 ? 1 : 0, 0);
+  }
+  return d;
+}
+
+RandomForestClassifier make_forest(int n_trees, int max_depth,
+                                   const Dataset& data) {
+  RandomForestOptions options;
+  options.n_trees = n_trees;
+  options.max_depth = max_depth;
+  options.n_threads = 1;
+  RandomForestClassifier forest(options);
+  forest.fit(data);
+  return forest;
+}
+
+void BM_TreeShapPerSample_Trees(benchmark::State& state) {
+  const Dataset data = make_data(4000, 387, 7);
+  const RandomForestClassifier forest =
+      make_forest(static_cast<int>(state.range(0)), -1, data);
+  const TreeShapExplainer explainer(forest);
+  const auto x = data.row(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values(x));
+  }
+  state.counters["trees"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TreeShapPerSample_Trees)->Arg(10)->Arg(50)->Arg(150)->Arg(500)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeShapPerSample_Depth(benchmark::State& state) {
+  const Dataset data = make_data(4000, 387, 8);
+  const RandomForestClassifier forest =
+      make_forest(50, static_cast<int>(state.range(0)), data);
+  const TreeShapExplainer explainer(forest);
+  const auto x = data.row(2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values(x));
+  }
+  state.counters["max_depth"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TreeShapPerSample_Depth)->Arg(4)->Arg(8)->Arg(16)->Arg(-1)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ForestPredictPerSample(benchmark::State& state) {
+  const Dataset data = make_data(4000, 387, 9);
+  const RandomForestClassifier forest =
+      make_forest(static_cast<int>(state.range(0)), -1, data);
+  const auto x = data.row(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_proba(x));
+  }
+}
+BENCHMARK(BM_ForestPredictPerSample)->Arg(150)->Arg(500)
+    ->Unit(benchmark::kMicrosecond);
+
+void BM_BruteForceShap(benchmark::State& state) {
+  // Few features so the 2^k enumeration stays feasible; shows why the
+  // polynomial-time tree explainer matters.
+  const Dataset data = make_data(1500, static_cast<std::size_t>(state.range(0)), 10);
+  DecisionTree tree;
+  DecisionTreeOptions options;
+  options.max_depth = 6;
+  tree.fit(data, options);
+  const auto x = data.row(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(brute_force_shap_values(tree, x));
+  }
+  state.counters["features"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_BruteForceShap)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_TreeShapSingleTree(benchmark::State& state) {
+  const Dataset data = make_data(1500, static_cast<std::size_t>(state.range(0)), 10);
+  DecisionTree tree;
+  DecisionTreeOptions options;
+  options.max_depth = 6;
+  tree.fit(data, options);
+  const auto x = data.row(4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(TreeShapExplainer::tree_shap_values(tree, x));
+  }
+  state.counters["features"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_TreeShapSingleTree)->Arg(8)->Arg(12)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+}  // namespace
+}  // namespace drcshap
+
+BENCHMARK_MAIN();

@@ -1,0 +1,90 @@
+// Reproduces Table I: the 14-design benchmark inventory with per-design
+// g-cell counts, DRC hotspot counts (from our DRC oracle after the full
+// placement -> global-route -> detailed-route-model pipeline), macro counts,
+// cell counts, and layout sizes. The paper's values are printed alongside
+// for comparison; hotspot counts are not expected to match numerically (our
+// detailed router is a synthetic oracle) but the rare-positive imbalance and
+// the per-design ordering should.
+//
+// Usage: bench_table1 [--scale N]   (default 8; 1 = the paper's full sizes)
+
+#include <cstring>
+#include <iostream>
+#include <map>
+
+#include "benchsuite/pipeline.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace drcshap;
+
+namespace {
+
+struct PaperRow {
+  int gcells;
+  int hotspots;
+};
+
+// Table I of the paper.
+const std::map<std::string, PaperRow> kPaper = {
+    {"des_perf_b", {10000, 0}},  {"fft_2", {3249, 17}},
+    {"mult_1", {8281, 154}},     {"mult_2", {8464, 193}},
+    {"fft_b", {6506, 534}},      {"mult_a", {21757, 13}},
+    {"mult_b", {24257, 613}},    {"bridge32_a", {3569, 56}},
+    {"des_perf_1", {5476, 676}}, {"mult_c", {24213, 62}},
+    {"des_perf_a", {11498, 246}}, {"fft_1", {1936, 50}},
+    {"fft_a", {6491, 2}},        {"bridge32_b", {10393, 0}},
+};
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  double scale = 8.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--scale") == 0 && i + 1 < argc) {
+      scale = std::atof(argv[++i]);
+    }
+  }
+  PipelineOptions pipeline;
+  pipeline.generator.scale = scale;
+
+  std::cout << "=== Table I: benchmark inventory (scale 1/" << scale
+            << ") ===\n\n";
+
+  Table table({"Design", "Group", "# G-cells", "(paper)", "# DRC hotspots",
+               "(paper)", "hotspot %", "# Macros", "# Cells (k)",
+               "Layout (um)"});
+  Stopwatch total;
+  std::size_t total_gcells = 0, total_hotspots = 0;
+  int last_group = 1;
+  for (const BenchmarkSpec& spec : ispd2015_suite()) {
+    if (spec.table_group != last_group) {
+      table.add_separator();
+      last_group = spec.table_group;
+    }
+    const DesignRun run = run_pipeline(spec, pipeline);
+    const PaperRow paper = kPaper.at(spec.name);
+    total_gcells += run.samples.n_rows();
+    total_hotspots += run.drc.n_hotspots;
+    table.add_row({spec.name, std::to_string(spec.table_group),
+                   std::to_string(run.samples.n_rows()),
+                   std::to_string(paper.gcells),
+                   std::to_string(run.drc.n_hotspots),
+                   std::to_string(paper.hotspots),
+                   fmt_percent(static_cast<double>(run.drc.n_hotspots) /
+                               static_cast<double>(run.samples.n_rows())),
+                   std::to_string(run.design.num_macros()),
+                   fmt_fixed(static_cast<double>(run.design.num_cells()) / 1000.0, 1),
+                   fmt_fixed(run.design.die().width(), 0) + "x" +
+                       fmt_fixed(run.design.die().height(), 0)});
+  }
+  std::cout << table.to_string();
+  std::cout << "\ntotals: " << total_gcells << " g-cell samples, "
+            << total_hotspots << " hotspots ("
+            << fmt_percent(static_cast<double>(total_hotspots) /
+                           static_cast<double>(total_gcells))
+            << " positive rate; paper full-scale: 146090 samples, 2616 "
+               "hotspots = 1.8%)\n";
+  std::cout << "wall time: " << fmt_fixed(total.seconds(), 1) << " s\n";
+  return 0;
+}

@@ -1,0 +1,84 @@
+// Small-scale Table II: trains RF and the four prior-work baselines on a
+// couple of Table I groups and evaluates a held-out design, printing the
+// paper's per-model metric triplet plus the complexity counters. The full
+// protocol (all 12 designs, grid-searched hyper-parameters) lives in
+// bench/bench_table2; this example is the minutes-scale version.
+//
+// Usage: model_comparison [scale]
+
+#include <cstdlib>
+#include <iostream>
+#include <memory>
+
+#include "baselines/neural_net.hpp"
+#include "baselines/rusboost.hpp"
+#include "baselines/svm_rbf.hpp"
+#include "benchsuite/pipeline.hpp"
+#include "core/random_forest.hpp"
+#include "ml/metrics.hpp"
+#include "ml/scaler.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+using namespace drcshap;
+
+int main(int argc, char** argv) {
+  const double scale = argc > 1 ? std::atof(argv[1]) : 8.0;
+  PipelineOptions pipeline;
+  pipeline.generator.scale = scale;
+
+  Dataset train(FeatureSchema::kNumFeatures, FeatureSchema::names());
+  for (const char* name : {"fft_2", "mult_2", "fft_b", "fft_1"}) {
+    train.append(run_pipeline(suite_spec(name), pipeline).samples);
+  }
+  Dataset test = run_pipeline(suite_spec("bridge32_a"), pipeline).samples;
+
+  // All models consume standardized features, as in the paper.
+  StandardScaler scaler;
+  scaler.fit_transform(train);
+  scaler.transform(test);
+
+  std::vector<std::unique_ptr<BinaryClassifier>> models;
+  {
+    RandomForestOptions rf;
+    rf.n_trees = 150;
+    models.push_back(std::make_unique<RandomForestClassifier>(rf));
+    SvmRbfOptions svm;
+    svm.C = 1.0;
+    svm.gamma = 1e-3;
+    models.push_back(std::make_unique<SvmRbfClassifier>(svm));
+    models.push_back(std::make_unique<RusBoostClassifier>());
+    NeuralNetOptions nn1;
+    nn1.hidden_sizes = {40};
+    nn1.display_name = "NN-1";
+    nn1.epochs = 12;
+    models.push_back(std::make_unique<NeuralNetClassifier>(nn1));
+    NeuralNetOptions nn2;
+    nn2.hidden_sizes = {40, 10};
+    nn2.display_name = "NN-2";
+    nn2.epochs = 12;
+    models.push_back(std::make_unique<NeuralNetClassifier>(nn2));
+  }
+
+  Table table({"model", "TPR*", "Prec*", "A_prc", "params", "pred ops",
+               "train s", "pred s"});
+  for (const auto& model : models) {
+    Stopwatch fit_timer;
+    model->fit(train);
+    const double fit_seconds = fit_timer.seconds();
+
+    Stopwatch pred_timer;
+    const std::vector<double> scores = model->predict_proba_all(test);
+    const double pred_seconds = pred_timer.seconds();
+
+    const OperatingPoint op = operating_point_at_fpr(scores, test.labels());
+    table.add_row({model->name(), fmt_fixed(op.tpr), fmt_fixed(op.precision),
+                   fmt_fixed(auprc(scores, test.labels())),
+                   fmt_kilo(static_cast<double>(model->n_parameters())),
+                   fmt_kilo(static_cast<double>(model->prediction_ops())),
+                   fmt_fixed(fit_seconds, 1), fmt_fixed(pred_seconds, 2)});
+  }
+  std::cout << "\n=== model comparison on held-out design bridge32_a ===\n"
+            << table.to_string();
+  return 0;
+}

@@ -1,0 +1,224 @@
+#include "baselines/neural_net.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+
+namespace {
+double sigmoid(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+}  // namespace
+
+NeuralNetClassifier::NeuralNetClassifier(NeuralNetOptions options)
+    : options_(std::move(options)) {
+  for (const int h : options_.hidden_sizes) {
+    if (h <= 0) throw std::invalid_argument("NN: hidden size must be > 0");
+  }
+  if (options_.epochs <= 0 || options_.batch_size <= 0) {
+    throw std::invalid_argument("NN: epochs/batch_size must be > 0");
+  }
+}
+
+double NeuralNetClassifier::forward(
+    std::span<const float> features,
+    std::vector<std::vector<double>>* activations) const {
+  std::vector<double> current(features.begin(), features.end());
+  if (activations) activations->clear();
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    const Layer& layer = layers_[l];
+    std::vector<double> next(static_cast<std::size_t>(layer.out));
+    for (int o = 0; o < layer.out; ++o) {
+      const double* w = layer.weight.data() +
+                        static_cast<std::size_t>(o) * static_cast<std::size_t>(layer.in);
+      double z = layer.bias[static_cast<std::size_t>(o)];
+      for (int i = 0; i < layer.in; ++i) {
+        z += w[i] * current[static_cast<std::size_t>(i)];
+      }
+      const bool is_output = l + 1 == layers_.size();
+      next[static_cast<std::size_t>(o)] =
+          is_output ? sigmoid(z) : std::max(0.0, z);
+    }
+    if (activations) activations->push_back(next);
+    current = std::move(next);
+  }
+  return current.front();
+}
+
+void NeuralNetClassifier::fit(const Dataset& data) {
+  if (data.n_rows() == 0) throw std::invalid_argument("NN: empty dataset");
+  const int n_features = static_cast<int>(data.n_features());
+  Rng rng(options_.seed);
+
+  // Build layer stack: hidden sizes then a single sigmoid output unit.
+  layers_.clear();
+  int prev = n_features;
+  std::vector<int> sizes = options_.hidden_sizes;
+  sizes.push_back(1);
+  for (const int size : sizes) {
+    Layer layer;
+    layer.in = prev;
+    layer.out = size;
+    layer.weight.resize(static_cast<std::size_t>(prev) * static_cast<std::size_t>(size));
+    layer.bias.assign(static_cast<std::size_t>(size), 0.0);
+    const double scale = std::sqrt(2.0 / static_cast<double>(prev));  // He
+    for (auto& w : layer.weight) w = rng.normal(0.0, scale);
+    layers_.push_back(std::move(layer));
+    prev = size;
+  }
+
+  const std::size_t n_pos = data.n_positives();
+  positive_weight_used_ =
+      options_.positive_weight > 0.0
+          ? options_.positive_weight
+          : std::min(50.0, static_cast<double>(data.n_rows() - n_pos) /
+                               std::max<std::size_t>(1, n_pos));
+
+  // Adam state.
+  struct AdamState {
+    std::vector<double> m_w, v_w, m_b, v_b;
+  };
+  std::vector<AdamState> adam(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    adam[l].m_w.assign(layers_[l].weight.size(), 0.0);
+    adam[l].v_w.assign(layers_[l].weight.size(), 0.0);
+    adam[l].m_b.assign(layers_[l].bias.size(), 0.0);
+    adam[l].v_b.assign(layers_[l].bias.size(), 0.0);
+  }
+  constexpr double kBeta1 = 0.9, kBeta2 = 0.999, kEps = 1e-8;
+  long step = 0;
+
+  std::vector<std::size_t> order(data.n_rows());
+  std::iota(order.begin(), order.end(), 0);
+
+  // Gradient accumulators per batch.
+  std::vector<std::vector<double>> grad_w(layers_.size()), grad_b(layers_.size());
+  for (std::size_t l = 0; l < layers_.size(); ++l) {
+    grad_w[l].assign(layers_[l].weight.size(), 0.0);
+    grad_b[l].assign(layers_[l].bias.size(), 0.0);
+  }
+
+  std::vector<std::vector<double>> activations;
+  for (int epoch = 0; epoch < options_.epochs; ++epoch) {
+    rng.shuffle(order);
+    for (std::size_t start = 0; start < order.size();
+         start += static_cast<std::size_t>(options_.batch_size)) {
+      const std::size_t end = std::min(
+          order.size(), start + static_cast<std::size_t>(options_.batch_size));
+      const double batch_n = static_cast<double>(end - start);
+      for (auto& g : grad_w) std::fill(g.begin(), g.end(), 0.0);
+      for (auto& g : grad_b) std::fill(g.begin(), g.end(), 0.0);
+
+      for (std::size_t k = start; k < end; ++k) {
+        const std::size_t row = order[k];
+        const auto x = data.row(row);
+        const double p = forward(x, &activations);
+        const double y = data.label(row) ? 1.0 : 0.0;
+        const double w_sample = data.label(row) ? positive_weight_used_ : 1.0;
+        const std::vector<double> x_dbl(x.begin(), x.end());
+
+        // delta at output: d(BCE)/dz for sigmoid output = (p - y).
+        std::vector<double> delta{w_sample * (p - y)};
+        for (std::size_t l = layers_.size(); l-- > 0;) {
+          const Layer& layer = layers_[l];
+          const std::vector<double>& input = l == 0 ? x_dbl : activations[l - 1];
+          for (int o = 0; o < layer.out; ++o) {
+            const double d = delta[static_cast<std::size_t>(o)];
+            grad_b[l][static_cast<std::size_t>(o)] += d;
+            double* gw = grad_w[l].data() +
+                         static_cast<std::size_t>(o) * static_cast<std::size_t>(layer.in);
+            for (int i = 0; i < layer.in; ++i) {
+              gw[i] += d * input[static_cast<std::size_t>(i)];
+            }
+          }
+          if (l == 0) break;
+          // Back-propagate through the previous ReLU layer.
+          std::vector<double> prev_delta(
+              static_cast<std::size_t>(layer.in), 0.0);
+          for (int i = 0; i < layer.in; ++i) {
+            if (activations[l - 1][static_cast<std::size_t>(i)] <= 0.0) continue;
+            double total = 0.0;
+            for (int o = 0; o < layer.out; ++o) {
+              total += delta[static_cast<std::size_t>(o)] *
+                       layer.weight[static_cast<std::size_t>(o) *
+                                        static_cast<std::size_t>(layer.in) +
+                                    static_cast<std::size_t>(i)];
+            }
+            prev_delta[static_cast<std::size_t>(i)] = total;
+          }
+          delta = std::move(prev_delta);
+        }
+      }
+
+      // Adam update.
+      ++step;
+      const double bc1 = 1.0 - std::pow(kBeta1, static_cast<double>(step));
+      const double bc2 = 1.0 - std::pow(kBeta2, static_cast<double>(step));
+      for (std::size_t l = 0; l < layers_.size(); ++l) {
+        Layer& layer = layers_[l];
+        for (std::size_t w = 0; w < layer.weight.size(); ++w) {
+          const double g =
+              grad_w[l][w] / batch_n + options_.l2 * layer.weight[w];
+          adam[l].m_w[w] = kBeta1 * adam[l].m_w[w] + (1.0 - kBeta1) * g;
+          adam[l].v_w[w] = kBeta2 * adam[l].v_w[w] + (1.0 - kBeta2) * g * g;
+          layer.weight[w] -= options_.learning_rate *
+                             (adam[l].m_w[w] / bc1) /
+                             (std::sqrt(adam[l].v_w[w] / bc2) + kEps);
+        }
+        for (std::size_t b = 0; b < layer.bias.size(); ++b) {
+          const double g = grad_b[l][b] / batch_n;
+          adam[l].m_b[b] = kBeta1 * adam[l].m_b[b] + (1.0 - kBeta1) * g;
+          adam[l].v_b[b] = kBeta2 * adam[l].v_b[b] + (1.0 - kBeta2) * g * g;
+          layer.bias[b] -= options_.learning_rate * (adam[l].m_b[b] / bc1) /
+                           (std::sqrt(adam[l].v_b[b] / bc2) + kEps);
+        }
+      }
+    }
+    log_debug(name(), " epoch ", epoch + 1, "/", options_.epochs,
+              " loss ", loss(data));
+  }
+}
+
+double NeuralNetClassifier::predict_proba(
+    std::span<const float> features) const {
+  if (layers_.empty()) throw std::logic_error("NN: not fitted");
+  if (static_cast<int>(features.size()) != layers_.front().in) {
+    throw std::invalid_argument("NN: feature count mismatch");
+  }
+  return forward(features, nullptr);
+}
+
+double NeuralNetClassifier::loss(const Dataset& data) const {
+  double total = 0.0, weight_total = 0.0;
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const double p = std::clamp(predict_proba(data.row(i)), 1e-12, 1.0 - 1e-12);
+    const double y = data.label(i) ? 1.0 : 0.0;
+    const double w = data.label(i) ? positive_weight_used_ : 1.0;
+    total += -w * (y * std::log(p) + (1.0 - y) * std::log(1.0 - p));
+    weight_total += w;
+  }
+  return weight_total > 0.0 ? total / weight_total : 0.0;
+}
+
+std::size_t NeuralNetClassifier::n_parameters() const {
+  std::size_t params = 0;
+  for (const Layer& layer : layers_) {
+    params += layer.weight.size() + layer.bias.size();
+  }
+  return params;
+}
+
+std::size_t NeuralNetClassifier::prediction_ops() const {
+  // Multiply-add pairs per weight, plus one activation per unit.
+  std::size_t ops = 0;
+  for (const Layer& layer : layers_) {
+    ops += 2 * layer.weight.size() + layer.bias.size();
+  }
+  return ops;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,57 @@
+#pragma once
+// Feed-forward neural network for binary classification: ReLU hidden layers,
+// sigmoid output, weighted binary cross-entropy, Adam optimizer. Configured
+// as NN-1 ({40} hidden, the Tabrizi et al. [6] architecture with the paper's
+// cross-validated width) or NN-2 ({40, 10}) for Table II.
+
+#include <cstdint>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drcshap {
+
+struct NeuralNetOptions {
+  std::vector<int> hidden_sizes = {40};
+  int epochs = 30;
+  int batch_size = 64;
+  double learning_rate = 1e-3;
+  double l2 = 1e-5;
+  /// Loss weight on positive samples; 0 = auto (neg/pos ratio, capped at 50).
+  double positive_weight = 0.0;
+  std::uint64_t seed = 37;
+  std::string display_name = "NN";
+};
+
+class NeuralNetClassifier final : public BinaryClassifier {
+ public:
+  explicit NeuralNetClassifier(NeuralNetOptions options = {});
+
+  void fit(const Dataset& data) override;
+  double predict_proba(std::span<const float> features) const override;
+
+  std::size_t n_parameters() const override;
+  std::size_t prediction_ops() const override;
+  std::string name() const override { return options_.display_name; }
+
+  /// Mean weighted BCE over a dataset (used by gradient tests/monitoring).
+  double loss(const Dataset& data) const;
+
+ private:
+  struct Layer {
+    int in = 0;
+    int out = 0;
+    std::vector<double> weight;  ///< out x in, row-major
+    std::vector<double> bias;    ///< out
+  };
+
+  /// Forward pass; fills per-layer activations (post-nonlinearity).
+  double forward(std::span<const float> features,
+                 std::vector<std::vector<double>>* activations) const;
+
+  NeuralNetOptions options_;
+  std::vector<Layer> layers_;  ///< hidden layers + final 1-unit output layer
+  double positive_weight_used_ = 1.0;
+};
+
+}  // namespace drcshap

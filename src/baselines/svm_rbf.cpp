@@ -1,0 +1,235 @@
+#include "baselines/svm_rbf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace drcshap {
+
+SvmRbfClassifier::SvmRbfClassifier(SvmRbfOptions options) : options_(options) {
+  if (options_.C <= 0.0) throw std::invalid_argument("SVM: C must be > 0");
+}
+
+void SvmRbfClassifier::fit(const Dataset& data) {
+  if (data.n_rows() == 0) throw std::invalid_argument("SVM: empty dataset");
+  if (data.n_positives() == 0 || data.n_positives() == data.n_rows()) {
+    throw std::invalid_argument("SVM: training data needs both classes");
+  }
+  n_features_ = data.n_features();
+  Rng rng(options_.seed);
+
+  // --- undersample the majority class to the sample cap ------------------
+  std::vector<std::size_t> pos_rows, neg_rows;
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    (data.label(i) ? pos_rows : neg_rows).push_back(i);
+  }
+  const std::size_t cap = std::max<std::size_t>(16, options_.max_training_samples);
+  std::vector<std::size_t> rows;
+  if (pos_rows.size() + neg_rows.size() <= cap) {
+    rows.reserve(pos_rows.size() + neg_rows.size());
+    rows.insert(rows.end(), pos_rows.begin(), pos_rows.end());
+    rows.insert(rows.end(), neg_rows.begin(), neg_rows.end());
+  } else {
+    // Keep all positives (up to half the cap), fill the rest with negatives.
+    const std::size_t n_pos = std::min(pos_rows.size(), cap / 2);
+    const std::size_t n_neg = std::min(neg_rows.size(), cap - n_pos);
+    rng.shuffle(pos_rows);
+    rng.shuffle(neg_rows);
+    rows.assign(pos_rows.begin(), pos_rows.begin() + static_cast<std::ptrdiff_t>(n_pos));
+    rows.insert(rows.end(), neg_rows.begin(),
+                neg_rows.begin() + static_cast<std::ptrdiff_t>(n_neg));
+  }
+  const std::size_t n = rows.size();
+
+  // --- materialize training matrix and labels in {-1, +1} ----------------
+  std::vector<float> x(n * n_features_);
+  std::vector<double> y(n);
+  std::size_t n_pos_used = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    const auto row = data.row(rows[i]);
+    std::copy(row.begin(), row.end(), x.begin() + static_cast<std::ptrdiff_t>(i * n_features_));
+    y[i] = data.label(rows[i]) ? 1.0 : -1.0;
+    if (data.label(rows[i])) ++n_pos_used;
+  }
+
+  // --- gamma: sklearn "scale" default 1 / (d * var) -----------------------
+  gamma_used_ = options_.gamma;
+  if (gamma_used_ <= 0.0) {
+    double mean = 0.0, mean_sq = 0.0;
+    for (const float v : x) {
+      mean += v;
+      mean_sq += static_cast<double>(v) * v;
+    }
+    mean /= static_cast<double>(x.size());
+    mean_sq /= static_cast<double>(x.size());
+    const double var = std::max(1e-12, mean_sq - mean * mean);
+    gamma_used_ = 1.0 / (static_cast<double>(n_features_) * var);
+  }
+
+  // --- kernel matrix ------------------------------------------------------
+  std::vector<double> sq_norm(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * n_features_;
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      sq_norm[i] += static_cast<double>(xi[f]) * xi[f];
+    }
+  }
+  std::vector<float> kernel(n * n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const float* xi = x.data() + i * n_features_;
+    kernel[i * n + i] = 1.0f;
+    for (std::size_t j = i + 1; j < n; ++j) {
+      const float* xj = x.data() + j * n_features_;
+      double dot = 0.0;
+      for (std::size_t f = 0; f < n_features_; ++f) {
+        dot += static_cast<double>(xi[f]) * xj[f];
+      }
+      const double dist_sq = sq_norm[i] + sq_norm[j] - 2.0 * dot;
+      const float k = static_cast<float>(
+          std::exp(-gamma_used_ * std::max(0.0, dist_sq)));
+      kernel[i * n + j] = k;
+      kernel[j * n + i] = k;
+    }
+  }
+
+  // --- SMO ----------------------------------------------------------------
+  const double w_pos =
+      options_.positive_weight > 0.0
+          ? options_.positive_weight
+          : static_cast<double>(n - n_pos_used) / std::max<std::size_t>(1, n_pos_used);
+  auto box = [&](std::size_t i) {
+    return y[i] > 0.0 ? options_.C * w_pos : options_.C;
+  };
+
+  std::vector<double> alpha(n, 0.0);
+  std::vector<double> grad(n, -1.0);  // grad_i = (Q alpha)_i - 1
+
+  iterations_used_ = 0;
+  for (; iterations_used_ < options_.max_iterations; ++iterations_used_) {
+    // Working-set selection: maximal violating pair.
+    double m_up = -std::numeric_limits<double>::infinity();
+    double m_low = std::numeric_limits<double>::infinity();
+    std::size_t i_up = n, i_low = n;
+    for (std::size_t t = 0; t < n; ++t) {
+      const bool in_up = (y[t] > 0.0 && alpha[t] < box(t) - 1e-12) ||
+                         (y[t] < 0.0 && alpha[t] > 1e-12);
+      const bool in_low = (y[t] < 0.0 && alpha[t] < box(t) - 1e-12) ||
+                          (y[t] > 0.0 && alpha[t] > 1e-12);
+      const double v = -y[t] * grad[t];
+      if (in_up && v > m_up) {
+        m_up = v;
+        i_up = t;
+      }
+      if (in_low && v < m_low) {
+        m_low = v;
+        i_low = t;
+      }
+    }
+    if (i_up == n || i_low == n || m_up - m_low < options_.tolerance) break;
+
+    const std::size_t i = i_up, j = i_low;
+    const float* ki = kernel.data() + i * n;
+    const float* kj = kernel.data() + j * n;
+    double a = static_cast<double>(ki[i]) + kj[j] - 2.0 * ki[j];
+    if (a <= 0.0) a = 1e-12;
+    const double b = m_up - m_low;
+
+    const double old_ai = alpha[i], old_aj = alpha[j];
+    alpha[i] += y[i] * b / a;
+    alpha[j] -= y[j] * b / a;
+
+    // Project back onto the box, preserving y_i a_i + y_j a_j.
+    const double sum = y[i] * old_ai + y[j] * old_aj;
+    alpha[i] = std::clamp(alpha[i], 0.0, box(i));
+    alpha[j] = y[j] * (sum - y[i] * alpha[i]);
+    alpha[j] = std::clamp(alpha[j], 0.0, box(j));
+    alpha[i] = y[i] * (sum - y[j] * alpha[j]);
+    alpha[i] = std::clamp(alpha[i], 0.0, box(i));
+
+    const double delta_i = alpha[i] - old_ai;
+    const double delta_j = alpha[j] - old_aj;
+    if (std::abs(delta_i) < 1e-14 && std::abs(delta_j) < 1e-14) break;
+    for (std::size_t t = 0; t < n; ++t) {
+      grad[t] += y[t] * (y[i] * delta_i * ki[t] + y[j] * delta_j * kj[t]);
+    }
+  }
+
+  // --- rho (intercept): mean over free support vectors -------------------
+  double rho_sum = 0.0;
+  std::size_t rho_count = 0;
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-9 && alpha[t] < box(t) - 1e-9) {
+      rho_sum += y[t] * grad[t];
+      ++rho_count;
+    }
+  }
+  if (rho_count > 0) {
+    rho_ = rho_sum / static_cast<double>(rho_count);
+  } else {
+    // Midpoint of the (converged) bound interval.
+    double m_up = -std::numeric_limits<double>::infinity();
+    double m_low = std::numeric_limits<double>::infinity();
+    for (std::size_t t = 0; t < n; ++t) {
+      const double v = -y[t] * grad[t];
+      m_up = std::max(m_up, v);
+      m_low = std::min(m_low, v);
+    }
+    rho_ = -(m_up + m_low) / 2.0;
+  }
+
+  // --- keep only support vectors -----------------------------------------
+  sv_features_.clear();
+  sv_coef_.clear();
+  for (std::size_t t = 0; t < n; ++t) {
+    if (alpha[t] > 1e-9) {
+      const float* xt = x.data() + t * n_features_;
+      sv_features_.insert(sv_features_.end(), xt, xt + n_features_);
+      sv_coef_.push_back(alpha[t] * y[t]);
+    }
+  }
+  if (sv_coef_.empty()) {
+    throw std::runtime_error("SVM: optimization produced no support vectors");
+  }
+  log_debug("SVM fit: ", n, " samples, ", sv_coef_.size(), " SVs, ",
+            iterations_used_, " SMO steps");
+}
+
+double SvmRbfClassifier::decision_value(std::span<const float> features) const {
+  if (sv_coef_.empty()) throw std::logic_error("SVM: not fitted");
+  if (features.size() != n_features_) {
+    throw std::invalid_argument("SVM: feature count mismatch");
+  }
+  double total = 0.0;
+  for (std::size_t s = 0; s < sv_coef_.size(); ++s) {
+    const float* sv = sv_features_.data() + s * n_features_;
+    double dist_sq = 0.0;
+    for (std::size_t f = 0; f < n_features_; ++f) {
+      const double d = static_cast<double>(features[f]) - sv[f];
+      dist_sq += d * d;
+    }
+    total += sv_coef_[s] * std::exp(-gamma_used_ * dist_sq);
+  }
+  return total - rho_;
+}
+
+double SvmRbfClassifier::predict_proba(std::span<const float> features) const {
+  // Logistic link on the margin: monotone, so threshold-sweep metrics (ROC,
+  // P-R, TPR*/Prec*) are identical to using the raw decision value.
+  return 1.0 / (1.0 + std::exp(-decision_value(features)));
+}
+
+std::size_t SvmRbfClassifier::n_parameters() const {
+  // Each SV stores its d coordinates plus a dual coefficient, plus rho.
+  return sv_coef_.size() * (n_features_ + 1) + 1;
+}
+
+std::size_t SvmRbfClassifier::prediction_ops() const {
+  // Per SV: d subtractions, d squarings, d adds, one exp + one fma.
+  return sv_coef_.size() * (3 * n_features_ + 2);
+}
+
+}  // namespace drcshap

@@ -1,0 +1,59 @@
+#include "benchsuite/pipeline.hpp"
+
+#include "features/labeler.hpp"
+#include "util/log.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+
+namespace drcshap {
+
+DesignRun run_pipeline(const BenchmarkSpec& spec,
+                       const PipelineOptions& options, int group_id) {
+  Stopwatch timer;
+  const int group = group_id >= 0 ? group_id : spec.table_group;
+
+  NetlistSpec netlist = generate_netlist(spec, options.generator);
+  PlacerOptions placer_options = options.placer;
+  placer_options.row_height = options.generator.row_height;
+  placer_options.seed = spec.seed * 31 + 1;
+  Design design = place_design(netlist, placer_options);
+
+  GlobalRouteResult route = global_route(design, options.router);
+
+  DrcReport drc = run_drc_oracle(design, route.congestion, options.drc);
+
+  const FeatureExtractor extractor(design, route.congestion);
+  Dataset samples(FeatureSchema::kNumFeatures, FeatureSchema::names());
+  std::vector<float> row(FeatureSchema::kNumFeatures);
+  for (std::size_t cell = 0; cell < design.grid().size(); ++cell) {
+    extractor.extract_into(cell, row);
+    samples.append_row(row, drc.hotspot[cell], group);
+  }
+
+  log_info("pipeline ", spec.name, ": ", design.num_cells(), " cells, ",
+           design.grid().size(), " g-cells, ", drc.n_hotspots,
+           " hotspots, edge_ovf ", route.edge_overflow, ", via_ovf ",
+           route.via_overflow, " (", fmt_fixed(timer.seconds(), 1), "s)");
+
+  return DesignRun{spec,
+                   std::move(design),
+                   std::move(route.congestion),
+                   route.edge_overflow,
+                   route.via_overflow,
+                   std::move(drc),
+                   std::move(samples)};
+}
+
+Dataset build_suite_dataset(
+    const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
+    const std::function<void(const DesignRun&)>& on_design) {
+  Dataset all(FeatureSchema::kNumFeatures, FeatureSchema::names());
+  for (std::size_t d = 0; d < specs.size(); ++d) {
+    DesignRun run = run_pipeline(specs[d], options, static_cast<int>(d));
+    all.append(run.samples);
+    if (on_design) on_design(run);
+  }
+  return all;
+}
+
+}  // namespace drcshap

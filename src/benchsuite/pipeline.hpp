@@ -1,0 +1,52 @@
+#pragma once
+// End-to-end data-acquisition pipeline (the middle panel of the paper's
+// Fig. 1): benchmark spec -> synthetic netlist -> placement -> global route
+// -> congestion map -> DRC oracle -> 387-feature samples with hotspot
+// labels. One DesignRun per design; build_suite_dataset stitches the whole
+// Table I suite into a single grouped dataset for the Table II protocol.
+
+#include <functional>
+#include <optional>
+
+#include "benchsuite/design_generator.hpp"
+#include "drc/drc_oracle.hpp"
+#include "features/feature_extractor.hpp"
+#include "ml/dataset.hpp"
+#include "route/global_router.hpp"
+
+namespace drcshap {
+
+struct PipelineOptions {
+  GeneratorOptions generator;
+  PlacerOptions placer;
+  GlobalRouterOptions router;
+  DrcOracleOptions drc;
+};
+
+/// Everything produced for one design.
+struct DesignRun {
+  BenchmarkSpec spec;
+  Design design;
+  CongestionMap congestion;
+  long edge_overflow = 0;
+  long via_overflow = 0;
+  DrcReport drc;
+  /// One row per g-cell; labels from drc.hotspot; group = `group_id` given
+  /// to run_pipeline (defaults to the spec's Table I group).
+  Dataset samples;
+};
+
+/// Runs the full pipeline for one design. `group_id` labels the dataset
+/// rows (pass the design's index when per-design test splits are needed);
+/// -1 uses spec.table_group.
+DesignRun run_pipeline(const BenchmarkSpec& spec,
+                       const PipelineOptions& options = {}, int group_id = -1);
+
+/// Runs the pipeline for every design in `specs` (group = design index into
+/// `specs`) and concatenates the samples. `on_design` (optional) observes
+/// each DesignRun as it completes, e.g. to collect Table I statistics.
+Dataset build_suite_dataset(
+    const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
+    const std::function<void(const DesignRun&)>& on_design = nullptr);
+
+}  // namespace drcshap

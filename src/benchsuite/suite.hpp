@@ -1,0 +1,47 @@
+#pragma once
+// The 14-design synthetic benchmark suite mirroring the paper's Table I
+// (ISPD 2015 designs in 65 nm with 5 routing layers): same design names,
+// same 5-group partition, same layout sizes, macro counts, cell counts and
+// (approximately) g-cell grids. Hotspot counts are produced downstream by
+// our own DRC oracle; each spec's congestion profile is calibrated so the
+// per-design hotspot character (dense vs sparse, macro-driven vs not)
+// matches the paper's inventory.
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace drcshap {
+
+struct BenchmarkSpec {
+  std::string name;
+  int table_group = 1;      ///< Table I group (1..5)
+  double die_microns = 0.0; ///< square die edge length
+  std::size_t gcells_x = 0;
+  std::size_t gcells_y = 0;
+  double cells_thousands = 0.0;
+  int n_macros = 0;
+  /// 0..1 congestion/difficulty knob: raises placement density, net fanout
+  /// and cross-region wiring, which the router turns into overflow and the
+  /// oracle into hotspots.
+  double difficulty = 0.5;
+  /// Nets per cell relative to a typical standard-cell netlist. FFT-style
+  /// designs are wiring-dominated (butterfly exchange networks), which is
+  /// how a sparse macro design like fft_b still congests its channels.
+  double wiring_richness = 1.0;
+  std::uint64_t seed = 1;
+  /// Designs the paper excludes from Table II (no DRC errors): evaluation
+  /// code skips them for metrics but still trains on them.
+  bool expect_zero_hotspots = false;
+};
+
+/// All 14 designs of Table I, paper order.
+const std::vector<BenchmarkSpec>& ispd2015_suite();
+
+/// Lookup by name; throws std::out_of_range for unknown names.
+const BenchmarkSpec& suite_spec(const std::string& name);
+
+/// The distinct Table I group ids {1,...,5}.
+std::vector<int> suite_groups();
+
+}  // namespace drcshap

@@ -1,0 +1,99 @@
+#include "core/brute_force_shap.hpp"
+
+#include <algorithm>
+#include <set>
+#include <stdexcept>
+
+namespace drcshap {
+
+double conditional_expectation(const DecisionTree& tree,
+                               std::span<const float> features,
+                               const std::vector<bool>& known) {
+  const auto& nodes = tree.nodes();
+  // Recursive lambda over node indices.
+  auto recurse = [&](auto&& self, std::int32_t idx) -> double {
+    const TreeNode& n = nodes[static_cast<std::size_t>(idx)];
+    if (n.feature < 0) return n.value;
+    if (known[static_cast<std::size_t>(n.feature)]) {
+      const bool left =
+          features[static_cast<std::size_t>(n.feature)] <= n.threshold;
+      return self(self, left ? n.left : n.right);
+    }
+    const TreeNode& l = nodes[static_cast<std::size_t>(n.left)];
+    const TreeNode& r = nodes[static_cast<std::size_t>(n.right)];
+    return (l.cover * self(self, n.left) + r.cover * self(self, n.right)) /
+           n.cover;
+  };
+  return recurse(recurse, 0);
+}
+
+std::vector<double> brute_force_shap_values(const DecisionTree& tree,
+                                            std::span<const float> features,
+                                            int max_used_features) {
+  if (!tree.fitted()) throw std::logic_error("brute_force_shap: unfitted");
+  std::set<std::int32_t> used_set;
+  for (const TreeNode& n : tree.nodes()) {
+    if (n.feature >= 0) used_set.insert(n.feature);
+  }
+  const std::vector<std::int32_t> used(used_set.begin(), used_set.end());
+  const int k = static_cast<int>(used.size());
+  if (k > max_used_features) {
+    throw std::invalid_argument(
+        "brute_force_shap: tree uses too many features (" +
+        std::to_string(k) + ")");
+  }
+  std::vector<double> phi(features.size(), 0.0);
+  if (k == 0) return phi;
+
+  // Precompute E[f | S] for every subset mask of the used features.
+  const std::size_t n_masks = std::size_t{1} << k;
+  std::vector<double> expectation(n_masks);
+  std::vector<bool> known(features.size(), false);
+  for (std::size_t mask = 0; mask < n_masks; ++mask) {
+    std::fill(known.begin(), known.end(), false);
+    for (int b = 0; b < k; ++b) {
+      if (mask & (std::size_t{1} << b)) {
+        known[static_cast<std::size_t>(used[static_cast<std::size_t>(b)])] = true;
+      }
+    }
+    expectation[mask] = conditional_expectation(tree, features, known);
+  }
+
+  // Factorial weights |S|! (k - |S| - 1)! / k!.
+  std::vector<double> factorial(static_cast<std::size_t>(k) + 1, 1.0);
+  for (std::size_t i = 1; i < factorial.size(); ++i) {
+    factorial[i] = factorial[i - 1] * static_cast<double>(i);
+  }
+  const double k_factorial = factorial[static_cast<std::size_t>(k)];
+
+  for (int j = 0; j < k; ++j) {
+    const std::size_t j_bit = std::size_t{1} << j;
+    double value = 0.0;
+    for (std::size_t mask = 0; mask < n_masks; ++mask) {
+      if (mask & j_bit) continue;  // S must exclude j
+      const int s = __builtin_popcountll(mask);
+      const double weight =
+          factorial[static_cast<std::size_t>(s)] *
+          factorial[static_cast<std::size_t>(k - s - 1)] / k_factorial;
+      value += weight * (expectation[mask | j_bit] - expectation[mask]);
+    }
+    phi[static_cast<std::size_t>(used[static_cast<std::size_t>(j)])] = value;
+  }
+  return phi;
+}
+
+std::vector<double> brute_force_shap_values(
+    const RandomForestClassifier& forest, std::span<const float> features,
+    int max_used_features) {
+  std::vector<double> phi(features.size(), 0.0);
+  for (const DecisionTree& tree : forest.trees()) {
+    const auto tree_phi =
+        brute_force_shap_values(tree, features, max_used_features);
+    for (std::size_t f = 0; f < phi.size(); ++f) phi[f] += tree_phi[f];
+  }
+  const double inv = 1.0 / static_cast<double>(forest.trees().size());
+  for (double& v : phi) v *= inv;
+  return phi;
+}
+
+}  // namespace drcshap

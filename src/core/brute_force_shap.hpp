@@ -1,0 +1,35 @@
+#pragma once
+// Exponential-time exact Shapley values, straight from Eq. (2) of the paper,
+// with the conditional expectations E[f(x) | x_S] defined by cover-weighted
+// tree traversal (identical semantics to the SHAP tree explainer).
+//
+// This is the verification oracle for TreeShapExplainer: on any tree using
+// at most ~20 distinct features the two must agree exactly. Features the
+// tree never splits on are null players and receive 0, so the enumeration
+// only runs over the features the tree actually uses.
+
+#include <span>
+#include <vector>
+
+#include "core/random_forest.hpp"
+
+namespace drcshap {
+
+/// E[f(x) | x_S]: splits on known features follow x; unknown splits average
+/// both children weighted by training cover.
+double conditional_expectation(const DecisionTree& tree,
+                               std::span<const float> features,
+                               const std::vector<bool>& known);
+
+/// Exact Shapley values for one tree. Throws if the tree uses more than
+/// `max_used_features` distinct features (default 22: 2^22 subsets).
+std::vector<double> brute_force_shap_values(const DecisionTree& tree,
+                                            std::span<const float> features,
+                                            int max_used_features = 22);
+
+/// Exact Shapley values for a forest (mean over trees, by linearity).
+std::vector<double> brute_force_shap_values(
+    const RandomForestClassifier& forest, std::span<const float> features,
+    int max_used_features = 22);
+
+}  // namespace drcshap

@@ -1,0 +1,117 @@
+#include "core/explanation.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+namespace drcshap {
+
+Explanation::Explanation(double base_value, double prediction,
+                         std::vector<double> shap_values,
+                         std::vector<float> feature_values,
+                         std::vector<std::string> feature_names)
+    : base_value_(base_value),
+      prediction_(prediction),
+      shap_values_(std::move(shap_values)),
+      feature_values_(std::move(feature_values)),
+      feature_names_(std::move(feature_names)) {
+  if (shap_values_.size() != feature_values_.size() ||
+      (!feature_names_.empty() &&
+       feature_names_.size() != shap_values_.size())) {
+    throw std::invalid_argument("Explanation: size mismatch");
+  }
+}
+
+std::vector<FeatureContribution> Explanation::ranked() const {
+  std::vector<std::size_t> order(shap_values_.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return std::abs(shap_values_[a]) > std::abs(shap_values_[b]);
+  });
+  std::vector<FeatureContribution> out;
+  out.reserve(order.size());
+  for (const std::size_t f : order) {
+    out.push_back({f,
+                   feature_names_.empty() ? "f" + std::to_string(f)
+                                          : feature_names_[f],
+                   shap_values_[f], feature_values_[f]});
+  }
+  return out;
+}
+
+std::vector<FeatureContribution> Explanation::top(std::size_t top_k) const {
+  auto all = ranked();
+  if (all.size() > top_k) all.resize(top_k);
+  return all;
+}
+
+double Explanation::additivity_gap() const {
+  const double total =
+      std::accumulate(shap_values_.begin(), shap_values_.end(), base_value_);
+  return std::abs(prediction_ - total);
+}
+
+std::string Explanation::to_text(std::size_t top_k) const {
+  std::ostringstream os;
+  os << "prediction " << fmt_fixed(prediction_, 4) << " (base value "
+     << fmt_fixed(base_value_, 4) << ", "
+     << (base_value_ > 0.0 ? fmt_fixed(prediction_ / base_value_, 1) : "inf")
+     << "x the average)\n";
+  const auto contributions = top(top_k);
+  double max_abs = 1e-12;
+  for (const auto& c : contributions) {
+    max_abs = std::max(max_abs, std::abs(c.shap_value));
+  }
+  for (const auto& c : contributions) {
+    const int bar = std::max(
+        1, static_cast<int>(std::lround(std::abs(c.shap_value) / max_abs * 40)));
+    os << "  " << (c.shap_value >= 0.0 ? "+" : "-") << " "
+       << c.feature_name << "=" << fmt_fixed(c.feature_value, 2) << "  "
+       << std::string(static_cast<std::size_t>(bar),
+                      c.shap_value >= 0.0 ? '#' : '-')
+       << " " << fmt_fixed(c.shap_value, 4) << "\n";
+  }
+  return os.str();
+}
+
+Explanation explain_sample(const TreeShapExplainer& explainer,
+                           const RandomForestClassifier& forest,
+                           std::span<const float> features,
+                           std::vector<std::string> feature_names) {
+  return Explanation(explainer.base_value(), forest.predict_proba(features),
+                     explainer.shap_values(features),
+                     std::vector<float>(features.begin(), features.end()),
+                     std::move(feature_names));
+}
+
+std::vector<double> mean_abs_shap(const TreeShapExplainer& explainer,
+                                  const Dataset& data, std::size_t max_rows,
+                                  std::uint64_t seed) {
+  if (data.n_rows() == 0) {
+    throw std::invalid_argument("mean_abs_shap: empty dataset");
+  }
+  Rng rng(seed);
+  std::vector<std::size_t> rows;
+  if (data.n_rows() <= max_rows) {
+    rows.resize(data.n_rows());
+    std::iota(rows.begin(), rows.end(), 0);
+  } else {
+    rows = rng.sample_without_replacement(data.n_rows(), max_rows);
+  }
+  std::vector<double> importance(data.n_features(), 0.0);
+  for (const std::size_t r : rows) {
+    const auto phi = explainer.shap_values(data.row(r));
+    for (std::size_t f = 0; f < importance.size(); ++f) {
+      importance[f] += std::abs(phi[f]);
+    }
+  }
+  for (double& v : importance) v /= static_cast<double>(rows.size());
+  return importance;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,66 @@
+#pragma once
+// Human-readable per-prediction explanations (the Fig. 4 force plots):
+// ranked signed feature contributions around the base value, rendered as
+// text with the paper's feature-naming convention.
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/tree_shap.hpp"
+
+namespace drcshap {
+
+struct FeatureContribution {
+  std::size_t feature_index = 0;
+  std::string feature_name;
+  double shap_value = 0.0;     ///< signed push from the base value
+  double feature_value = 0.0;  ///< the sample's raw value of this feature
+};
+
+class Explanation {
+ public:
+  Explanation(double base_value, double prediction,
+              std::vector<double> shap_values,
+              std::vector<float> feature_values,
+              std::vector<std::string> feature_names);
+
+  double base_value() const { return base_value_; }
+  double prediction() const { return prediction_; }
+  const std::vector<double>& shap_values() const { return shap_values_; }
+
+  /// All contributions ordered by |shap| descending.
+  std::vector<FeatureContribution> ranked() const;
+
+  /// The top_k strongest contributions.
+  std::vector<FeatureContribution> top(std::size_t top_k) const;
+
+  /// |prediction - (base + sum(shap))|: should be ~0 (additivity check).
+  double additivity_gap() const;
+
+  /// ASCII force plot: one line per top contribution, bar length scaled to
+  /// |shap|, '+' bars push toward hotspot, '-' bars away (Fig. 4 pink/blue).
+  std::string to_text(std::size_t top_k = 10) const;
+
+ private:
+  double base_value_;
+  double prediction_;
+  std::vector<double> shap_values_;
+  std::vector<float> feature_values_;
+  std::vector<std::string> feature_names_;
+};
+
+/// Convenience: run the explainer on one sample.
+Explanation explain_sample(const TreeShapExplainer& explainer,
+                           const RandomForestClassifier& forest,
+                           std::span<const float> features,
+                           std::vector<std::string> feature_names);
+
+/// Global feature importance: mean |SHAP value| per feature over (at most
+/// max_rows of) the dataset — the standard SHAP summary aggregation.
+std::vector<double> mean_abs_shap(const TreeShapExplainer& explainer,
+                                  const Dataset& data,
+                                  std::size_t max_rows = 500,
+                                  std::uint64_t seed = 7);
+
+}  // namespace drcshap

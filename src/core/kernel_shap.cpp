@@ -1,0 +1,149 @@
+#include "core/kernel_shap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "util/rng.hpp"
+
+namespace drcshap {
+
+namespace {
+
+/// Solves (A + ridge*I) x = b for symmetric positive definite A via
+/// Cholesky; A is overwritten. Dimension n is the (reduced) feature count.
+std::vector<double> cholesky_solve(std::vector<double>& a, std::vector<double> b,
+                                   std::size_t n, double ridge) {
+  for (std::size_t i = 0; i < n; ++i) a[i * n + i] += ridge;
+  // Cholesky decomposition A = L L^T (lower triangle stored in place).
+  for (std::size_t j = 0; j < n; ++j) {
+    double diag = a[j * n + j];
+    for (std::size_t k = 0; k < j; ++k) diag -= a[j * n + k] * a[j * n + k];
+    if (diag <= 0.0) {
+      throw std::runtime_error("kernel_shap: regression matrix not SPD");
+    }
+    a[j * n + j] = std::sqrt(diag);
+    for (std::size_t i = j + 1; i < n; ++i) {
+      double v = a[i * n + j];
+      for (std::size_t k = 0; k < j; ++k) v -= a[i * n + k] * a[j * n + k];
+      a[i * n + j] = v / a[j * n + j];
+    }
+  }
+  // Forward substitution L y = b.
+  for (std::size_t i = 0; i < n; ++i) {
+    double v = b[i];
+    for (std::size_t k = 0; k < i; ++k) v -= a[i * n + k] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  // Back substitution L^T x = y.
+  for (std::size_t i = n; i-- > 0;) {
+    double v = b[i];
+    for (std::size_t k = i + 1; k < n; ++k) v -= a[k * n + i] * b[k];
+    b[i] = v / a[i * n + i];
+  }
+  return b;
+}
+
+}  // namespace
+
+KernelShapExplainer::KernelShapExplainer(const BinaryClassifier& model,
+                                         const Dataset& background,
+                                         KernelShapOptions options)
+    : model_(model), options_(options) {
+  if (background.n_rows() == 0) {
+    throw std::invalid_argument("KernelShap: empty background");
+  }
+  Rng rng(options_.seed);
+  const std::size_t n_bg =
+      std::min(options_.n_background, background.n_rows());
+  const auto rows = rng.sample_without_replacement(background.n_rows(), n_bg);
+  double base = 0.0;
+  for (const std::size_t r : rows) {
+    const auto row = background.row(r);
+    background_rows_.emplace_back(row.begin(), row.end());
+    base += model_.predict_proba(row);
+  }
+  base_value_ = base / static_cast<double>(background_rows_.size());
+}
+
+std::vector<double> KernelShapExplainer::shap_values(
+    std::span<const float> x) const {
+  const std::size_t m = x.size();
+  if (m < 2) throw std::invalid_argument("KernelShap: needs >= 2 features");
+  Rng rng(options_.seed ^ 0xabcdef12345ULL);
+
+  const double fx = model_.predict_proba(x);
+  const double total = fx - base_value_;
+
+  // Coalition-size distribution p(s) ~ (m-1) / (s (m-s)).
+  std::vector<double> size_cdf(m - 1);
+  double cumulative = 0.0;
+  for (std::size_t s = 1; s < m; ++s) {
+    cumulative += static_cast<double>(m - 1) /
+                  (static_cast<double>(s) * static_cast<double>(m - s));
+    size_cdf[s - 1] = cumulative;
+  }
+
+  // Accumulate the weighted normal equations over sampled coalitions, with
+  // the last feature eliminated by the additivity constraint:
+  //   phi_last = total - sum(others),  z'_j = z_j - z_last.
+  const std::size_t n_red = m - 1;
+  std::vector<double> ata(n_red * n_red, 0.0);
+  std::vector<double> atb(n_red, 0.0);
+
+  std::vector<std::uint8_t> z(m);
+  std::vector<float> imputed(m);
+  std::vector<double> zr(n_red);
+  for (std::size_t it = 0; it < options_.n_coalitions; ++it) {
+    // Draw a coalition size, then a uniform subset of that size.
+    const double pick = rng.uniform() * cumulative;
+    std::size_t s = 1;
+    while (s < m - 1 && size_cdf[s - 1] < pick) ++s;
+    std::fill(z.begin(), z.end(), 0);
+    for (const std::size_t idx : rng.sample_without_replacement(m, s)) {
+      z[idx] = 1;
+    }
+
+    // Model output with absent features imputed from the background.
+    double fz = 0.0;
+    for (const auto& bg : background_rows_) {
+      for (std::size_t f = 0; f < m; ++f) imputed[f] = z[f] ? x[f] : bg[f];
+      fz += model_.predict_proba(imputed);
+    }
+    fz /= static_cast<double>(background_rows_.size());
+
+    // All sampled coalitions of a given size share the kernel weight; since
+    // we sample sizes *from* the kernel distribution, each draw gets unit
+    // weight in the regression.
+    const double y = (fz - base_value_) -
+                     static_cast<double>(z[m - 1]) * total;
+    for (std::size_t j = 0; j < n_red; ++j) {
+      zr[j] = static_cast<double>(z[j]) - static_cast<double>(z[m - 1]);
+    }
+    for (std::size_t j = 0; j < n_red; ++j) {
+      if (zr[j] == 0.0) continue;
+      atb[j] += zr[j] * y;
+      for (std::size_t k = 0; k <= j; ++k) {
+        ata[j * n_red + k] += zr[j] * zr[k];
+      }
+    }
+  }
+  // Mirror to the full symmetric matrix.
+  for (std::size_t j = 0; j < n_red; ++j) {
+    for (std::size_t k = j + 1; k < n_red; ++k) {
+      ata[j * n_red + k] = ata[k * n_red + j];
+    }
+  }
+
+  std::vector<double> phi_reduced =
+      cholesky_solve(ata, std::move(atb), n_red, options_.ridge);
+  std::vector<double> phi(m, 0.0);
+  double sum = 0.0;
+  for (std::size_t j = 0; j < n_red; ++j) {
+    phi[j] = phi_reduced[j];
+    sum += phi_reduced[j];
+  }
+  phi[m - 1] = total - sum;
+  return phi;
+}
+
+}  // namespace drcshap

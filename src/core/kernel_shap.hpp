@@ -1,0 +1,57 @@
+#pragma once
+// Kernel SHAP (Lundberg & Lee 2017): the model-agnostic, sampling-based
+// SHAP approximation the paper contrasts with the exact tree explainer
+// (Section III-C: "practical implementations ... based on assumptions like
+// feature independence and approximations by sampling, which compromise the
+// accuracy"). Included so the trade-off can be measured: the ablation bench
+// compares its error and runtime against TreeShapExplainer on the same
+// forest.
+//
+// Estimates phi by weighted linear regression over sampled feature
+// coalitions; "absent" features are imputed from a background sample
+// (feature-independence assumption), unlike the tree explainer's exact
+// cover-based conditioning.
+
+#include <cstdint>
+#include <functional>
+#include <span>
+#include <vector>
+
+#include "ml/classifier.hpp"
+
+namespace drcshap {
+
+struct KernelShapOptions {
+  /// Sampled coalitions (more = tighter estimate, linearly slower).
+  std::size_t n_coalitions = 2000;
+  /// Background rows used to impute absent features (subsampled from the
+  /// provided background dataset).
+  std::size_t n_background = 20;
+  /// Ridge regularization for the regression solve.
+  double ridge = 1e-6;
+  std::uint64_t seed = 123;
+};
+
+class KernelShapExplainer {
+ public:
+  /// `model` and `background` must outlive the explainer. The background
+  /// dataset provides the reference distribution (its subsample's mean
+  /// prediction is the base value).
+  KernelShapExplainer(const BinaryClassifier& model, const Dataset& background,
+                      KernelShapOptions options = {});
+
+  double base_value() const { return base_value_; }
+
+  /// Approximate SHAP values for one sample. Satisfies additivity exactly
+  /// (it is enforced by the regression constraint); individual values carry
+  /// sampling error that shrinks with n_coalitions.
+  std::vector<double> shap_values(std::span<const float> features) const;
+
+ private:
+  const BinaryClassifier& model_;
+  KernelShapOptions options_;
+  std::vector<std::vector<float>> background_rows_;
+  double base_value_;
+};
+
+}  // namespace drcshap

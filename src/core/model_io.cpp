@@ -1,0 +1,75 @@
+#include "core/model_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <stdexcept>
+
+namespace drcshap {
+
+namespace {
+void expect(std::istream& is, const std::string& keyword) {
+  std::string tok;
+  is >> tok;
+  if (tok != keyword) {
+    throw std::runtime_error("model_io: expected '" + keyword + "', got '" +
+                             tok + "'");
+  }
+}
+}  // namespace
+
+void save_forest(const RandomForestClassifier& forest, std::ostream& os) {
+  if (!forest.fitted()) throw std::logic_error("save_forest: unfitted model");
+  os << std::setprecision(17);
+  const auto& trees = forest.trees();
+  os << "FOREST " << trees.size() << " " << trees.front().n_features() << "\n";
+  for (const DecisionTree& tree : trees) {
+    os << "TREE " << tree.n_nodes() << "\n";
+    for (const TreeNode& n : tree.nodes()) {
+      os << n.feature << " " << n.threshold << " " << n.left << " " << n.right
+         << " " << n.value << " " << n.cover << "\n";
+    }
+  }
+  os << "END\n";
+}
+
+void save_forest_file(const RandomForestClassifier& forest,
+                      const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("save_forest_file: cannot open " + path);
+  save_forest(forest, os);
+}
+
+RandomForestClassifier load_forest(std::istream& is) {
+  expect(is, "FOREST");
+  std::size_t n_trees = 0, n_features = 0;
+  is >> n_trees >> n_features;
+  if (!is || n_trees == 0 || n_features == 0) {
+    throw std::runtime_error("model_io: bad forest header");
+  }
+  std::vector<DecisionTree> trees(n_trees);
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    expect(is, "TREE");
+    std::size_t n_nodes = 0;
+    is >> n_nodes;
+    std::vector<TreeNode> nodes(n_nodes);
+    for (TreeNode& n : nodes) {
+      is >> n.feature >> n.threshold >> n.left >> n.right >> n.value >> n.cover;
+    }
+    if (!is) throw std::runtime_error("model_io: truncated tree");
+    trees[t].set_nodes(std::move(nodes), n_features);
+  }
+  expect(is, "END");
+  RandomForestOptions options;
+  options.n_trees = static_cast<int>(n_trees);
+  RandomForestClassifier forest(options);
+  forest.set_trees(std::move(trees), options);
+  return forest;
+}
+
+RandomForestClassifier load_forest_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("load_forest_file: cannot open " + path);
+  return load_forest(is);
+}
+
+}  // namespace drcshap

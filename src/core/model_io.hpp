@@ -1,0 +1,20 @@
+#pragma once
+// Text serialization for fitted Random Forest models, so a model trained
+// once per technology/flow (the paper's deployment assumption) can be stored
+// and reloaded for prediction + explanation without retraining.
+
+#include <iosfwd>
+#include <string>
+
+#include "core/random_forest.hpp"
+
+namespace drcshap {
+
+void save_forest(const RandomForestClassifier& forest, std::ostream& os);
+void save_forest_file(const RandomForestClassifier& forest,
+                      const std::string& path);
+
+RandomForestClassifier load_forest(std::istream& is);
+RandomForestClassifier load_forest_file(const std::string& path);
+
+}  // namespace drcshap

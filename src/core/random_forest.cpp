@@ -1,0 +1,96 @@
+#include "core/random_forest.hpp"
+
+#include <numeric>
+#include <stdexcept>
+
+#include "util/thread_pool.hpp"
+
+namespace drcshap {
+
+RandomForestClassifier::RandomForestClassifier(RandomForestOptions options)
+    : options_(options) {
+  if (options_.n_trees <= 0) {
+    throw std::invalid_argument("RandomForest: n_trees must be positive");
+  }
+}
+
+void RandomForestClassifier::fit(const Dataset& data) {
+  if (data.n_rows() == 0) throw std::invalid_argument("RandomForest: empty");
+  const BinnedMatrix binned(data, options_.max_bins);
+  trees_.assign(static_cast<std::size_t>(options_.n_trees), DecisionTree{});
+
+  // Pre-draw per-tree seeds so results are independent of thread scheduling.
+  Rng seeder(options_.seed);
+  std::vector<std::uint64_t> tree_seeds(trees_.size());
+  for (auto& s : tree_seeds) s = seeder();
+
+  auto build_tree = [&](std::size_t t) {
+    Rng rng(tree_seeds[t]);
+    std::vector<std::size_t> rows;
+    if (options_.bootstrap) {
+      rows = rng.bootstrap_indices(data.n_rows());
+    } else {
+      rows.resize(data.n_rows());
+      std::iota(rows.begin(), rows.end(), 0);
+    }
+    DecisionTreeOptions tree_options;
+    tree_options.max_depth = options_.max_depth;
+    tree_options.min_samples_leaf = options_.min_samples_leaf;
+    tree_options.min_samples_split = options_.min_samples_leaf * 2;
+    tree_options.max_features = options_.max_features;
+    tree_options.positive_weight = options_.positive_weight;
+    tree_options.seed = rng();
+    trees_[t].fit_binned(binned, data, rows, tree_options);
+  };
+
+  if (options_.n_threads == 1) {
+    for (std::size_t t = 0; t < trees_.size(); ++t) build_tree(t);
+  } else {
+    ThreadPool pool(options_.n_threads);
+    pool.parallel_for(trees_.size(), build_tree);
+  }
+}
+
+double RandomForestClassifier::predict_proba(
+    std::span<const float> features) const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) {
+    total += tree.predict_proba(features);
+  }
+  return total / static_cast<double>(trees_.size());
+}
+
+std::size_t RandomForestClassifier::n_parameters() const {
+  // Each internal node stores (feature, threshold), each leaf a value.
+  std::size_t params = 0;
+  for (const DecisionTree& tree : trees_) {
+    const std::size_t leaves = tree.n_leaves();
+    params += (tree.n_nodes() - leaves) * 2 + leaves;
+  }
+  return params;
+}
+
+std::size_t RandomForestClassifier::prediction_ops() const {
+  // One comparison per level walked in each tree, plus the aggregation adds.
+  double ops = 0.0;
+  for (const DecisionTree& tree : trees_) ops += tree.mean_depth();
+  return static_cast<std::size_t>(ops) + trees_.size();
+}
+
+double RandomForestClassifier::expected_value() const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  double total = 0.0;
+  for (const DecisionTree& tree : trees_) total += tree.expected_value();
+  return total / static_cast<double>(trees_.size());
+}
+
+void RandomForestClassifier::set_trees(std::vector<DecisionTree> trees,
+                                       RandomForestOptions options) {
+  if (trees.empty()) throw std::invalid_argument("set_trees: empty forest");
+  trees_ = std::move(trees);
+  options_ = options;
+  options_.n_trees = static_cast<int>(trees_.size());
+}
+
+}  // namespace drcshap

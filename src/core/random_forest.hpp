@@ -1,0 +1,54 @@
+#pragma once
+// Random Forest classifier (Breiman 2001), the paper's proposed model:
+// bootstrap-sampled, feature-subsampled, unpruned CART trees whose leaf
+// probabilities are averaged. Tree training is embarrassingly parallel
+// (Section III-A's parallelism argument) via the shared thread pool.
+
+#include <memory>
+
+#include "core/decision_tree.hpp"
+#include "ml/classifier.hpp"
+
+namespace drcshap {
+
+struct RandomForestOptions {
+  int n_trees = 500;            ///< the paper's final model uses 500
+  int max_depth = -1;           ///< unpruned by default
+  std::size_t min_samples_leaf = 1;
+  /// Candidate features per split; 0 = floor(sqrt(M)) (classification
+  /// default), -1 = all features.
+  int max_features = 0;
+  int max_bins = 64;
+  bool bootstrap = true;
+  double positive_weight = 1.0; ///< class weight on hotspots
+  std::uint64_t seed = 42;
+  std::size_t n_threads = 0;    ///< 0 = hardware concurrency
+};
+
+class RandomForestClassifier final : public BinaryClassifier {
+ public:
+  explicit RandomForestClassifier(RandomForestOptions options = {});
+
+  void fit(const Dataset& data) override;
+  double predict_proba(std::span<const float> features) const override;
+
+  std::size_t n_parameters() const override;
+  std::size_t prediction_ops() const override;
+  std::string name() const override { return "RF"; }
+
+  bool fitted() const { return !trees_.empty(); }
+  const std::vector<DecisionTree>& trees() const { return trees_; }
+  const RandomForestOptions& options() const { return options_; }
+
+  /// Cover-weighted mean prediction over training data: the SHAP base value.
+  double expected_value() const;
+
+  /// For deserialization (model_io).
+  void set_trees(std::vector<DecisionTree> trees, RandomForestOptions options);
+
+ private:
+  RandomForestOptions options_;
+  std::vector<DecisionTree> trees_;
+};
+
+}  // namespace drcshap

@@ -1,0 +1,195 @@
+#include "core/tree_shap.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drcshap {
+
+namespace {
+
+// One element of the "unique path" of Algorithm 2: a feature encountered on
+// the way down, the fraction of paths that flow through when the feature is
+// unknown (zero_fraction = cover ratio) or known (one_fraction = 0/1), and
+// the permutation weight accumulator pweight.
+struct PathElement {
+  int feature_index = -1;
+  double zero_fraction = 0.0;
+  double one_fraction = 0.0;
+  double pweight = 0.0;
+};
+
+/// Grow the path by one split (EXTEND).
+void extend_path(PathElement* path, int unique_depth, double zero_fraction,
+                 double one_fraction, int feature_index) {
+  path[unique_depth] = {feature_index, zero_fraction, one_fraction,
+                        unique_depth == 0 ? 1.0 : 0.0};
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    path[i + 1].pweight += one_fraction * path[i].pweight * (i + 1) /
+                           static_cast<double>(unique_depth + 1);
+    path[i].pweight = zero_fraction * path[i].pweight * (unique_depth - i) /
+                      static_cast<double>(unique_depth + 1);
+  }
+}
+
+/// Undo an extension for a repeated feature (UNWIND).
+void unwind_path(PathElement* path, int unique_depth, int path_index) {
+  const double one_fraction = path[path_index].one_fraction;
+  const double zero_fraction = path[path_index].zero_fraction;
+  double next_one_portion = path[unique_depth].pweight;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = path[i].pweight;
+      path[i].pweight = next_one_portion * (unique_depth + 1) /
+                        static_cast<double>((i + 1) * one_fraction);
+      next_one_portion =
+          tmp - path[i].pweight * zero_fraction * (unique_depth - i) /
+                    static_cast<double>(unique_depth + 1);
+    } else {
+      path[i].pweight = path[i].pweight * (unique_depth + 1) /
+                        static_cast<double>(zero_fraction * (unique_depth - i));
+    }
+  }
+  for (int i = path_index; i < unique_depth; ++i) {
+    path[i].feature_index = path[i + 1].feature_index;
+    path[i].zero_fraction = path[i + 1].zero_fraction;
+    path[i].one_fraction = path[i + 1].one_fraction;
+  }
+}
+
+/// Total permutation weight if path_index were unwound (UNWOUND_PATH_SUM).
+double unwound_path_sum(const PathElement* path, int unique_depth,
+                        int path_index) {
+  const double one_fraction = path[path_index].one_fraction;
+  const double zero_fraction = path[path_index].zero_fraction;
+  double next_one_portion = path[unique_depth].pweight;
+  double total = 0.0;
+  for (int i = unique_depth - 1; i >= 0; --i) {
+    if (one_fraction != 0.0) {
+      const double tmp = next_one_portion * (unique_depth + 1) /
+                         static_cast<double>((i + 1) * one_fraction);
+      total += tmp;
+      next_one_portion = path[i].pweight -
+                         tmp * zero_fraction * (unique_depth - i) /
+                             static_cast<double>(unique_depth + 1);
+    } else {
+      total += path[i].pweight * (unique_depth + 1) /
+               static_cast<double>(zero_fraction * (unique_depth - i));
+    }
+  }
+  return total;
+}
+
+struct TreeShapContext {
+  const std::vector<TreeNode>* nodes;
+  std::span<const float> x;
+  std::vector<double>* phi;
+  // Pre-allocated path storage: recursion level L uses the slot starting at
+  // L * stride. A repeated feature shrinks unique_depth without changing the
+  // level, so slots are keyed by level, not unique depth.
+  std::vector<PathElement> path_storage;
+  int stride;
+};
+
+void tree_shap_recurse(TreeShapContext& ctx, std::int32_t node_index,
+                       int level, int unique_depth,
+                       const PathElement* parent_path,
+                       double parent_zero_fraction,
+                       double parent_one_fraction, int parent_feature_index) {
+  // Copy the parent's path into this level's slot, then extend it.
+  PathElement* path =
+      ctx.path_storage.data() + static_cast<std::size_t>(level) * ctx.stride;
+  for (int i = 0; i < unique_depth; ++i) path[i] = parent_path[i];
+  extend_path(path, unique_depth, parent_zero_fraction, parent_one_fraction,
+              parent_feature_index);
+
+  const TreeNode& node = (*ctx.nodes)[static_cast<std::size_t>(node_index)];
+  if (node.feature < 0) {
+    // Leaf: attribute to every feature on the unique path.
+    for (int i = 1; i <= unique_depth; ++i) {
+      const double w = unwound_path_sum(path, unique_depth, i);
+      (*ctx.phi)[static_cast<std::size_t>(path[i].feature_index)] +=
+          w * (path[i].one_fraction - path[i].zero_fraction) * node.value;
+    }
+    return;
+  }
+
+  const TreeNode& left = (*ctx.nodes)[static_cast<std::size_t>(node.left)];
+  const TreeNode& right = (*ctx.nodes)[static_cast<std::size_t>(node.right)];
+  const bool goes_left =
+      ctx.x[static_cast<std::size_t>(node.feature)] <= node.threshold;
+  const std::int32_t hot = goes_left ? node.left : node.right;
+  const std::int32_t cold = goes_left ? node.right : node.left;
+  const double hot_cover = goes_left ? left.cover : right.cover;
+  const double cold_cover = goes_left ? right.cover : left.cover;
+
+  double incoming_zero_fraction = 1.0;
+  double incoming_one_fraction = 1.0;
+  // If this feature was already on the path, undo its previous extension and
+  // fold its fractions into this one.
+  int path_index = 1;
+  for (; path_index <= unique_depth; ++path_index) {
+    if (path[path_index].feature_index == node.feature) break;
+  }
+  int depth_after = unique_depth;
+  if (path_index <= unique_depth) {
+    incoming_zero_fraction = path[path_index].zero_fraction;
+    incoming_one_fraction = path[path_index].one_fraction;
+    unwind_path(path, unique_depth, path_index);
+    depth_after = unique_depth - 1;
+  }
+
+  const double cover = node.cover;
+  tree_shap_recurse(ctx, hot, level + 1, depth_after + 1, path,
+                    hot_cover / cover * incoming_zero_fraction,
+                    incoming_one_fraction, node.feature);
+  tree_shap_recurse(ctx, cold, level + 1, depth_after + 1, path,
+                    cold_cover / cover * incoming_zero_fraction, 0.0,
+                    node.feature);
+}
+
+}  // namespace
+
+std::vector<double> TreeShapExplainer::tree_shap_values(
+    const DecisionTree& tree, std::span<const float> features) {
+  if (!tree.fitted()) throw std::logic_error("tree_shap: tree not fitted");
+  if (features.size() != tree.n_features()) {
+    throw std::invalid_argument("tree_shap: feature count mismatch");
+  }
+  std::vector<double> phi(tree.n_features(), 0.0);
+  const int max_depth = tree.depth();
+
+  TreeShapContext ctx;
+  ctx.nodes = &tree.nodes();
+  ctx.x = features;
+  ctx.phi = &phi;
+  ctx.stride = max_depth + 2;  // a level-L path holds <= L+1 elements
+  ctx.path_storage.assign(
+      static_cast<std::size_t>(max_depth + 1) * static_cast<std::size_t>(ctx.stride),
+      PathElement{});
+
+  tree_shap_recurse(ctx, 0, /*level=*/0, /*unique_depth=*/0,
+                    /*parent_path=*/nullptr, 1.0, 1.0, -1);
+  return phi;
+}
+
+TreeShapExplainer::TreeShapExplainer(const RandomForestClassifier& forest)
+    : forest_(forest), base_value_(forest.expected_value()) {
+  if (!forest.fitted()) {
+    throw std::invalid_argument("TreeShapExplainer: forest not fitted");
+  }
+}
+
+std::vector<double> TreeShapExplainer::shap_values(
+    std::span<const float> features) const {
+  const auto& trees = forest_.trees();
+  std::vector<double> phi(features.size(), 0.0);
+  for (const DecisionTree& tree : trees) {
+    const std::vector<double> tree_phi = tree_shap_values(tree, features);
+    for (std::size_t f = 0; f < phi.size(); ++f) phi[f] += tree_phi[f];
+  }
+  const double inv = 1.0 / static_cast<double>(trees.size());
+  for (double& v : phi) v *= inv;
+  return phi;
+}
+
+}  // namespace drcshap

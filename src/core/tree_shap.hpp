@@ -1,0 +1,44 @@
+#pragma once
+// Exact SHAP tree explainer (Lundberg, Erion & Lee 2018, Algorithm 2).
+//
+// Computes, in polynomial time, the exact Shapley values of Eq. (2) of the
+// paper for tree ensembles, where the conditional expectations
+// E[f(x) | x_S] are defined by tree traversal: splits on features in S
+// follow x, splits on features outside S average both children weighted by
+// training cover. Because SHAP values are linear in the model, the values
+// for a Random Forest are the average of its trees' values.
+//
+// Complexity per sample and tree: O(L * D^2) with L leaves and D depth —
+// this is what makes per-hotspot explanations cheap enough to run inside a
+// physical-design loop (Section III-C).
+
+#include <span>
+#include <vector>
+
+#include "core/random_forest.hpp"
+
+namespace drcshap {
+
+class TreeShapExplainer {
+ public:
+  /// The forest must stay alive while the explainer is used.
+  explicit TreeShapExplainer(const RandomForestClassifier& forest);
+
+  /// E[f(x)] over the training distribution (cover-weighted).
+  double base_value() const { return base_value_; }
+
+  /// Per-feature SHAP values for one sample; size = n_features.
+  /// Additivity holds: base_value() + sum(result) == forest.predict_proba(x)
+  /// up to floating-point error.
+  std::vector<double> shap_values(std::span<const float> features) const;
+
+  /// SHAP values for a single tree (used by tests and RUSBoost reuse).
+  static std::vector<double> tree_shap_values(const DecisionTree& tree,
+                                              std::span<const float> features);
+
+ private:
+  const RandomForestClassifier& forest_;
+  double base_value_;
+};
+
+}  // namespace drcshap

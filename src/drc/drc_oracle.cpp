@@ -1,0 +1,205 @@
+#include "drc/drc_oracle.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace drcshap {
+
+std::string to_string(DrcErrorType type) {
+  switch (type) {
+    case DrcErrorType::kShort:               return "short";
+    case DrcErrorType::kEndOfLineSpacing:    return "end-of-line-spacing";
+    case DrcErrorType::kDifferentNetSpacing: return "different-net-spacing";
+    case DrcErrorType::kViaEnclosure:        return "via-enclosure";
+  }
+  return "?";
+}
+
+namespace {
+
+double logistic(double x) { return 1.0 / (1.0 + std::exp(-x)); }
+
+std::uint64_t name_hash(const std::string& s) {
+  std::uint64_t h = 1469598103934665603ULL;  // FNV-1a
+  for (const unsigned char c : s) {
+    h ^= c;
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+/// Per-cause score breakdown; the dominant cause drives the violation type.
+struct CauseScores {
+  double wire = 0.0;    ///< own + neighbor edge overflow
+  double via = 0.0;     ///< via crowding
+  double pin = 0.0;     ///< pin/local-net/NDR/clock/spacing/density pressure
+  double macro = 0.0;   ///< macro-adjacency coupling
+  int worst_wire_metal = 0;
+  int worst_via_layer = 0;
+
+  double total() const { return wire + via + pin + macro; }
+};
+
+CauseScores cause_scores(const Design& design, const TrackModel& track,
+                         const std::vector<GCellAggregate>& agg,
+                         std::size_t cell, const DrcOracleOptions& opt) {
+  const std::size_t nx = design.grid().nx();
+  const std::size_t ny = design.grid().ny();
+  const int metals = track.num_metal_layers();
+  CauseScores s;
+
+  double worst_wire = -1.0;
+  double own_overflow_total = 0.0;
+  for (int m = 0; m < metals; ++m) {
+    const double over = track.edge_overflow(cell, m);
+    own_overflow_total += over;
+    double w = opt.w_overflow;
+    if (m >= 3) w += opt.w_overflow_upper;  // M4/M5 detour layers
+    // Log compression: the first overflowed track matters far more than the
+    // fortieth (a totally blown region is already hopeless).
+    s.wire += w * std::log1p(over);
+    if (over > worst_wire) {
+      worst_wire = over;
+      s.worst_wire_metal = m;
+    }
+  }
+  // 4-neighborhood spillover (detours push errors into adjacent cells).
+  const std::size_t c = cell % nx, r = cell / nx;
+  double nbr_overflow = 0.0;
+  auto add_nbr = [&](std::size_t n) {
+    for (int m = 0; m < metals; ++m) nbr_overflow += track.edge_overflow(n, m);
+  };
+  if (c > 0) add_nbr(cell - 1);
+  if (c + 1 < nx) add_nbr(cell + 1);
+  if (r > 0) add_nbr(cell - nx);
+  if (r + 1 < ny) add_nbr(cell + nx);
+  s.wire += opt.w_neighbor * std::log1p(nbr_overflow);
+
+  double worst_via = -1.0;
+  for (int v = 0; v < metals - 1; ++v) {
+    const double pressure = track.via_pressure(cell, v);
+    const double above = std::max(0.0, pressure - opt.via_threshold);
+    s.via += opt.w_via * above;
+    if (pressure > worst_via) {
+      worst_via = pressure;
+      s.worst_via_layer = v;
+    }
+  }
+
+  const GCellAggregate& a = agg[cell];
+  s.pin += opt.w_pin *
+           std::max(0.0, static_cast<double>(a.n_pins) - opt.pin_threshold);
+  s.pin += opt.w_local * a.n_local_nets;
+  s.pin = std::min(s.pin, opt.pin_cap);  // crowding saturates
+  s.pin += opt.w_ndr * a.n_ndr_pins;
+  s.pin += opt.w_clock * a.n_clock_pins;
+  s.pin += opt.w_density * std::max(0.0, a.cell_area_frac - 0.8);
+  // Tight mean pin spacing (below 20% of the g-cell pitch) with several pins.
+  const double pitch = design.grid().cell_width();
+  if (a.n_pins >= 4 && a.pin_spacing > 0.0 && a.pin_spacing < 0.2 * pitch) {
+    s.pin += opt.w_spacing * (0.2 * pitch - a.pin_spacing) / (0.2 * pitch);
+  }
+
+  if (a.macro_adjacent) {
+    // Blocked lower layers force traffic upward; couple with local pressure.
+    const double coupling =
+        std::min(2.0, own_overflow_total + 0.25 * nbr_overflow +
+                          std::max(0.0, worst_via - opt.via_threshold) * 2.0);
+    s.macro += opt.w_macro * (0.15 + coupling);
+  }
+  return s;
+}
+
+}  // namespace
+
+double drc_difficulty(const Design& design, const TrackModel& track,
+                      const std::vector<GCellAggregate>& agg, std::size_t cell,
+                      const DrcOracleOptions& options) {
+  return cause_scores(design, track, agg, cell, options).total();
+}
+
+DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
+                         const DrcOracleOptions& options) {
+  const GCellGrid& grid = design.grid();
+  const TrackModel track(design, congestion);
+  const std::vector<GCellAggregate> agg = compute_gcell_aggregates(design);
+
+  Rng rng(options.seed ^ name_hash(design.name()));
+  const double design_effect = rng.normal(0.0, options.design_effect_sigma);
+
+  DrcReport report;
+  report.hotspot.assign(grid.size(), 0);
+
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    // One fork per cell keeps the stream independent of how many draws each
+    // cell makes (stable labels under parameter tweaks elsewhere).
+    Rng cell_rng = rng.fork();
+    const CauseScores s = cause_scores(design, track, agg, cell, options);
+    const double latent = options.bias + s.total() + design_effect +
+                          cell_rng.normal(0.0, options.noise_sigma);
+    if (!cell_rng.bernoulli(logistic(latent))) continue;
+
+    // Violation count grows with how far past the threshold the cell is.
+    const double intensity = std::log1p(std::exp(latent));  // softplus
+    const auto n_violations =
+        1 + cell_rng.poisson(std::min(4.0, 0.5 * intensity));
+
+    const Rect cr = grid.cell_rect(cell);
+    for (std::uint64_t k = 0; k < n_violations; ++k) {
+      // Pick the cause proportional to its score share.
+      const double total = std::max(1e-9, s.total());
+      const double pick = cell_rng.uniform() * total;
+      DrcViolation v;
+      if (pick < s.wire) {
+        v.type = cell_rng.bernoulli(0.7) ? DrcErrorType::kShort
+                                         : DrcErrorType::kDifferentNetSpacing;
+        v.metal_layer = s.worst_wire_metal;
+      } else if (pick < s.wire + s.via) {
+        // Via clusters squeeze the metal layer between the crowded cuts.
+        v.type = cell_rng.bernoulli(0.75) ? DrcErrorType::kEndOfLineSpacing
+                                          : DrcErrorType::kViaEnclosure;
+        v.metal_layer = s.worst_via_layer + 1;
+      } else if (pick < s.wire + s.via + s.pin) {
+        v.type = cell_rng.bernoulli(0.5) ? DrcErrorType::kDifferentNetSpacing
+                                         : DrcErrorType::kShort;
+        v.metal_layer = static_cast<int>(cell_rng.index(2));  // M1/M2 pin level
+      } else {
+        // Macro-driven: error on the first routable layer above the macro.
+        v.type = DrcErrorType::kShort;
+        v.metal_layer =
+            std::min(design.tech().num_metal_layers - 1, s.worst_wire_metal);
+      }
+
+      // Small box inside the cell; ~12% straddle into a neighbor, which makes
+      // multi-g-cell hotspots like the paper's bounding boxes.
+      const double w = cr.width() * cell_rng.uniform(0.05, 0.35);
+      const double h = cr.height() * cell_rng.uniform(0.05, 0.35);
+      double x = cr.x_lo + cell_rng.uniform() * (cr.width() - w);
+      double y = cr.y_lo + cell_rng.uniform() * (cr.height() - h);
+      if (cell_rng.bernoulli(0.12)) {
+        // Shift the box onto the cell border so it spills over.
+        if (cell_rng.bernoulli(0.5)) {
+          x = cell_rng.bernoulli(0.5) ? cr.x_lo - w / 2.0 : cr.x_hi - w / 2.0;
+        } else {
+          y = cell_rng.bernoulli(0.5) ? cr.y_lo - h / 2.0 : cr.y_hi - h / 2.0;
+        }
+      }
+      v.box = Rect{x, y, x + w, y + h}.intersect(design.die());
+      if (v.box.empty()) continue;
+      report.violations.push_back(v);
+    }
+  }
+
+  for (const DrcViolation& v : report.violations) {
+    for (const std::size_t cell : grid.cells_overlapping(v.box)) {
+      report.hotspot[cell] = 1;
+    }
+  }
+  report.n_hotspots = static_cast<std::size_t>(
+      std::count(report.hotspot.begin(), report.hotspot.end(), 1));
+  return report;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,69 @@
+#pragma once
+// Per-g-cell layout aggregates and a track-level supply/demand model.
+//
+// `compute_gcell_aggregates` summarizes the placed design per g-cell (cell /
+// pin / local-net counts, pin spacing, blockage and cell-area fractions) —
+// the placement-derived half of the paper's feature set, also used by the
+// DRC oracle. `TrackModel` overlays the post-GR congestion map to estimate,
+// per g-cell and metal layer, how many wires must squeeze through versus how
+// many tracks exist — the quantity whose shortfall generates DRC violations
+// after detailed routing.
+
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "route/congestion.hpp"
+
+namespace drcshap {
+
+struct GCellAggregate {
+  int n_cells = 0;          ///< std cells fully inside the g-cell
+  int n_pins = 0;           ///< pins inside the g-cell
+  int n_clock_pins = 0;
+  int n_local_nets = 0;     ///< nets with all pins inside this g-cell
+  int n_local_net_pins = 0; ///< pins belonging to any local net
+  int n_ndr_pins = 0;       ///< pins of non-default-rule nets
+  double pin_spacing = 0.0; ///< mean pairwise Manhattan distance of pins
+  double blockage_frac = 0.0;  ///< fraction of area under routing blockages
+  double cell_area_frac = 0.0; ///< fraction of area under std cells
+  bool macro_adjacent = false; ///< g-cell touches (or overlaps) a macro
+};
+
+/// One aggregate per g-cell (row-major grid order).
+std::vector<GCellAggregate> compute_gcell_aggregates(const Design& design);
+
+/// Congestion-derived supply/demand per (g-cell, metal layer) and via
+/// pressure per (g-cell, via layer).
+class TrackModel {
+ public:
+  TrackModel(const Design& design, const CongestionMap& congestion);
+
+  /// Mean load of the layer's edges incident to the cell (wires crossing
+  /// into/out of the cell on that layer).
+  double wire_demand(std::size_t cell, int metal) const;
+  /// Mean capacity of the same edges.
+  double wire_supply(std::size_t cell, int metal) const;
+  /// max(0, demand - supply).
+  double overflow(std::size_t cell, int metal) const;
+  /// Total positive edge overflow incident to the cell on that layer.
+  int edge_overflow(std::size_t cell, int metal) const;
+  /// Via utilization: load / max(1, capacity).
+  double via_pressure(std::size_t cell, int via_layer) const;
+
+  std::size_t num_cells() const { return num_cells_; }
+  int num_metal_layers() const { return num_metal_; }
+
+ private:
+  std::size_t index(std::size_t cell, int metal) const {
+    return static_cast<std::size_t>(metal) * num_cells_ + cell;
+  }
+  std::size_t num_cells_;
+  int num_metal_;
+  std::vector<double> demand_;
+  std::vector<double> supply_;
+  std::vector<int> edge_overflow_;
+  std::vector<double> via_pressure_;  ///< [via_layer * num_cells + cell]
+  int num_vias_;
+};
+
+}  // namespace drcshap

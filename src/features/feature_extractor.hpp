@@ -1,0 +1,40 @@
+#pragma once
+// Extracts the 387 features of Section II-A for each g-cell: placement
+// aggregates over the 3x3 window plus the (C, L, C-L) congestion triples for
+// window border edges (per metal layer) and window cells (per via layer).
+// Window positions outside the layout are blank-padded (all-zero), as the
+// paper specifies for boundary g-cells.
+
+#include <span>
+#include <vector>
+
+#include "drc/track_model.hpp"
+#include "features/feature_names.hpp"
+#include "netlist/design.hpp"
+#include "route/congestion.hpp"
+
+namespace drcshap {
+
+class FeatureExtractor {
+ public:
+  FeatureExtractor(const Design& design, const CongestionMap& congestion);
+
+  /// Fills `out` (size must be FeatureSchema::kNumFeatures) with the feature
+  /// vector of g-cell `cell`.
+  void extract_into(std::size_t cell, std::span<float> out) const;
+
+  /// Convenience allocating variant.
+  std::vector<float> extract(std::size_t cell) const;
+
+  /// Row-major matrix for all g-cells (size() x kNumFeatures).
+  std::vector<float> extract_all() const;
+
+  const Design& design() const { return design_; }
+
+ private:
+  const Design& design_;
+  const CongestionMap& cong_;
+  std::vector<GCellAggregate> agg_;
+};
+
+}  // namespace drcshap

@@ -1,0 +1,129 @@
+#include "features/feature_names.hpp"
+
+#include <stdexcept>
+#include <unordered_map>
+
+namespace drcshap {
+
+const std::array<const char*, FeatureSchema::kNumWindowPositions>&
+FeatureSchema::position_names() {
+  static const std::array<const char*, kNumWindowPositions> kNames = {
+      "o", "N", "S", "E", "W", "NE", "NW", "SE", "SW"};
+  return kNames;
+}
+
+const std::array<std::pair<int, int>, FeatureSchema::kNumWindowPositions>&
+FeatureSchema::position_offsets() {
+  // (dcol, drow); north = +row.
+  static const std::array<std::pair<int, int>, kNumWindowPositions> kOffsets = {
+      {{0, 0}, {0, 1}, {0, -1}, {1, 0}, {-1, 0},
+       {1, 1}, {-1, 1}, {1, -1}, {-1, -1}}};
+  return kOffsets;
+}
+
+const std::array<FeatureSchema::WindowEdge, FeatureSchema::kNumWindowEdges>&
+FeatureSchema::window_edges() {
+  // Position indices (see position_names): o=0 N=1 S=2 E=3 W=4 NE=5 NW=6
+  // SE=7 SW=8. Numbering walks the window north to south (see header).
+  static const std::array<WindowEdge, kNumWindowEdges> kEdges = {{
+      {6, 1, true, "1H"},    // NW | N
+      {1, 5, true, "2H"},    // N  | NE
+      {4, 6, false, "3V"},   // W  - NW
+      {0, 1, false, "4V"},   // o  - N
+      {3, 5, false, "5V"},   // E  - NE
+      {4, 0, true, "6H"},    // W  | o
+      {0, 3, true, "7H"},    // o  | E
+      {8, 4, false, "8V"},   // SW - W
+      {2, 0, false, "9V"},   // S  - o
+      {7, 3, false, "10V"},  // SE - E
+      {8, 2, true, "11H"},   // SW | S
+      {2, 7, true, "12H"},   // S  | SE
+  }};
+  return kEdges;
+}
+
+const std::vector<std::string>& FeatureSchema::names() {
+  static const std::vector<std::string> kNames = [] {
+    std::vector<std::string> out;
+    out.reserve(kNumFeatures);
+    static const char* kScalars[kScalarsPerPosition] = {
+        "x",       "y",         "cells",   "pins",       "clkpins",
+        "localnets", "localpins", "ndrpins", "pinspacing", "blkg",
+        "cellarea"};
+    for (std::size_t p = 0; p < kNumWindowPositions; ++p) {
+      for (std::size_t s = 0; s < kScalarsPerPosition; ++s) {
+        out.push_back(std::string(kScalars[s]) + "_" + position_names()[p]);
+      }
+    }
+    static const char* kEdgeComponents[3] = {"ec", "el", "ed"};
+    for (int m = 0; m < kMetalLayers; ++m) {
+      for (std::size_t e = 0; e < kNumWindowEdges; ++e) {
+        for (int comp = 0; comp < 3; ++comp) {
+          out.push_back(std::string(kEdgeComponents[comp]) + "M" +
+                        std::to_string(m + 1) + "_" + window_edges()[e].label);
+        }
+      }
+    }
+    static const char* kViaComponents[3] = {"vc", "vl", "vd"};
+    for (int v = 0; v < kViaLayers; ++v) {
+      for (std::size_t p = 0; p < kNumWindowPositions; ++p) {
+        for (int comp = 0; comp < 3; ++comp) {
+          out.push_back(std::string(kViaComponents[comp]) + "V" +
+                        std::to_string(v + 1) + "_" + position_names()[p]);
+        }
+      }
+    }
+    if (out.size() != kNumFeatures) {
+      throw std::logic_error("FeatureSchema: name count mismatch");
+    }
+    return out;
+  }();
+  return kNames;
+}
+
+std::size_t FeatureSchema::index_of(const std::string& name) {
+  static const std::unordered_map<std::string, std::size_t> kIndex = [] {
+    std::unordered_map<std::string, std::size_t> map;
+    const auto& all = names();
+    for (std::size_t i = 0; i < all.size(); ++i) map.emplace(all[i], i);
+    return map;
+  }();
+  const auto it = kIndex.find(name);
+  if (it == kIndex.end()) {
+    throw std::out_of_range("FeatureSchema: unknown feature '" + name + "'");
+  }
+  return it->second;
+}
+
+std::size_t FeatureSchema::scalar_index(std::size_t position,
+                                        std::size_t scalar) {
+  if (position >= kNumWindowPositions || scalar >= kScalarsPerPosition) {
+    throw std::out_of_range("FeatureSchema::scalar_index");
+  }
+  return position * kScalarsPerPosition + scalar;
+}
+
+std::size_t FeatureSchema::edge_index(int metal, std::size_t edge,
+                                      int component) {
+  if (metal < 0 || metal >= kMetalLayers || edge >= kNumWindowEdges ||
+      component < 0 || component >= 3) {
+    throw std::out_of_range("FeatureSchema::edge_index");
+  }
+  return kNumWindowPositions * kScalarsPerPosition +
+         (static_cast<std::size_t>(metal) * kNumWindowEdges + edge) * 3 +
+         static_cast<std::size_t>(component);
+}
+
+std::size_t FeatureSchema::via_index(int via_layer, std::size_t position,
+                                     int component) {
+  if (via_layer < 0 || via_layer >= kViaLayers ||
+      position >= kNumWindowPositions || component < 0 || component >= 3) {
+    throw std::out_of_range("FeatureSchema::via_index");
+  }
+  return kNumWindowPositions * kScalarsPerPosition +
+         static_cast<std::size_t>(kMetalLayers) * kNumWindowEdges * 3 +
+         (static_cast<std::size_t>(via_layer) * kNumWindowPositions + position) * 3 +
+         static_cast<std::size_t>(component);
+}
+
+}  // namespace drcshap

@@ -1,0 +1,80 @@
+#pragma once
+// The 387-feature schema of Section II-A and its naming convention
+// (Fig. 3(d) style), shared by the extractor, the SHAP explanations, and the
+// benches that print per-feature attributions.
+//
+// Layout of one sample (a g-cell expanded to its 3x3 window):
+//
+//  [0, 99)    9 window positions x 11 placement-derived scalars
+//             positions, in order: o N S E W NE NW SE SW
+//             scalars, in order:   x y cells pins clkpins localnets localpins
+//                                  ndrpins pinspacing blkg cellarea
+//             names: "<scalar>_<pos>", e.g. "pins_NE"
+//
+//  [99, 279)  5 metal layers x 12 window border edges x {c,l,d}
+//             edge numbering (window drawn with north up):
+//                 +----+----+----+          1H,2H   : top-row vertical borders
+//                 | NW   1H  N   2H  NE |   3V..5V  : top/middle horizontal
+//                 +-3V-+-4V-+-5V-+          6H,7H   : middle-row vertical
+//                 | W    6H  o   7H  E  |   8V..10V : middle/bottom horizontal
+//                 +-8V-+-9V-+-10V+          11H,12H : bottom-row vertical
+//                 | SW  11H  S  12H  SE |
+//                 +----+----+----+
+//             suffix H = crossed by horizontal wires (layers M1/M3/M5),
+//             suffix V = crossed by vertical wires (layers M2/M4).
+//             names: "ec|el|ed" + "M<layer>_<edge>", e.g. "edM4_7H"
+//             (ec = capacity C, el = load L, ed = margin C-L)
+//
+//  [279, 387) 4 via layers x 9 window positions x {c,l,d}
+//             names: "vc|vl|vd" + "V<layer>_<pos>", e.g. "vlV2_E"
+//
+// Total: 99 + 180 + 108 = 387.
+
+#include <array>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace drcshap {
+
+class FeatureSchema {
+ public:
+  static constexpr std::size_t kNumFeatures = 387;
+  static constexpr std::size_t kNumWindowPositions = 9;
+  static constexpr std::size_t kNumWindowEdges = 12;
+  static constexpr std::size_t kScalarsPerPosition = 11;
+  static constexpr int kMetalLayers = 5;
+  static constexpr int kViaLayers = 4;
+
+  /// Position labels in schema order.
+  static const std::array<const char*, kNumWindowPositions>& position_names();
+
+  /// (dcol, drow) offset of each window position relative to the center.
+  static const std::array<std::pair<int, int>, kNumWindowPositions>&
+  position_offsets();
+
+  /// Window border edges: for edge i (0-based; label is i+1 with suffix),
+  /// the two window positions it separates and whether horizontal wires
+  /// cross it.
+  struct WindowEdge {
+    std::size_t pos_a;     ///< index into position_offsets()
+    std::size_t pos_b;
+    bool crossed_by_horizontal_wires;
+    const char* label;     ///< e.g. "7H"
+  };
+  static const std::array<WindowEdge, kNumWindowEdges>& window_edges();
+
+  /// All 387 names, in schema order.
+  static const std::vector<std::string>& names();
+
+  /// Index of a name; throws std::out_of_range for unknown names.
+  static std::size_t index_of(const std::string& name);
+
+  // Block offsets.
+  static std::size_t scalar_index(std::size_t position, std::size_t scalar);
+  static std::size_t edge_index(int metal, std::size_t edge, int component);
+  static std::size_t via_index(int via_layer, std::size_t position,
+                               int component);
+};
+
+}  // namespace drcshap

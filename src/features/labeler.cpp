@@ -1,0 +1,27 @@
+#include "features/labeler.hpp"
+
+namespace drcshap {
+
+std::vector<std::uint8_t> hotspot_labels(
+    const GCellGrid& grid, const std::vector<DrcViolation>& violations) {
+  std::vector<std::uint8_t> labels(grid.size(), 0);
+  for (const DrcViolation& v : violations) {
+    for (const std::size_t cell : grid.cells_overlapping(v.box)) {
+      labels[cell] = 1;
+    }
+  }
+  return labels;
+}
+
+std::vector<DrcViolation> violations_in_gcell(
+    const GCellGrid& grid, std::size_t cell,
+    const std::vector<DrcViolation>& violations) {
+  const Rect box = grid.cell_rect(cell);
+  std::vector<DrcViolation> out;
+  for (const DrcViolation& v : violations) {
+    if (v.box.overlaps(box)) out.push_back(v);
+  }
+  return out;
+}
+
+}  // namespace drcshap

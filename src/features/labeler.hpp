@@ -1,0 +1,23 @@
+#pragma once
+// Label extraction: a g-cell is a DRC hotspot iff it overlaps any DRC error
+// bounding box; a sample is positive iff its central g-cell is a hotspot.
+
+#include <cstdint>
+#include <vector>
+
+#include "drc/drc_oracle.hpp"
+#include "geom/geometry.hpp"
+
+namespace drcshap {
+
+/// Per-g-cell hotspot labels (1/0) from violation bounding boxes.
+std::vector<std::uint8_t> hotspot_labels(const GCellGrid& grid,
+                                         const std::vector<DrcViolation>& violations);
+
+/// Violations whose bounding box overlaps the given g-cell (for the Fig. 3
+/// style "actual DRC errors at this hotspot" listings).
+std::vector<DrcViolation> violations_in_gcell(
+    const GCellGrid& grid, std::size_t cell,
+    const std::vector<DrcViolation>& violations);
+
+}  // namespace drcshap

@@ -1,0 +1,50 @@
+#include "ml/cross_validation.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+#include "ml/metrics.hpp"
+#include "util/log.hpp"
+
+namespace drcshap {
+
+CrossValResult grouped_cross_validate(const ModelFactory& factory,
+                                      const Dataset& data,
+                                      std::span<const int> train_groups) {
+  if (train_groups.size() < 2) {
+    throw std::invalid_argument(
+        "grouped_cross_validate: need >= 2 training groups");
+  }
+  CrossValResult result;
+  double total = 0.0;
+  std::size_t scored = 0;
+  for (const int held_out : train_groups) {
+    std::vector<int> fit_groups;
+    for (const int g : train_groups) {
+      if (g != held_out) fit_groups.push_back(g);
+    }
+    const std::vector<int> held{held_out};
+    const Dataset train = data.subset(data.rows_in_groups(fit_groups));
+    const Dataset valid = data.subset(data.rows_in_groups(held));
+    if (valid.n_positives() == 0 || train.n_positives() == 0) {
+      log_debug("CV fold (group ", held_out, ") skipped: one-class split");
+      continue;
+    }
+    auto model = factory();
+    model->fit(train);
+    const std::vector<double> scores = model->predict_proba_all(valid);
+    const double score = auprc(scores, valid.labels());
+    if (std::isnan(score)) continue;
+    result.fold_auprc.push_back(score);
+    total += score;
+    ++scored;
+  }
+  if (scored == 0) {
+    throw std::runtime_error(
+        "grouped_cross_validate: no fold had both classes");
+  }
+  result.mean_auprc = total / static_cast<double>(scored);
+  return result;
+}
+
+}  // namespace drcshap

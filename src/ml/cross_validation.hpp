@@ -1,0 +1,31 @@
+#pragma once
+// Grouped cross-validation implementing the paper's protocol (Section II):
+// designs are partitioned into groups; for a design under test, its whole
+// group is held out, and hyper-parameters are chosen by leave-one-group-out
+// CV over the remaining (training) groups, scored by AUPRC.
+
+#include <functional>
+#include <memory>
+
+#include "ml/classifier.hpp"
+#include "ml/dataset.hpp"
+
+namespace drcshap {
+
+/// Builds a fresh, untrained model.
+using ModelFactory = std::function<std::unique_ptr<BinaryClassifier>()>;
+
+struct CrossValResult {
+  double mean_auprc = 0.0;
+  std::vector<double> fold_auprc;  ///< one entry per validation group
+};
+
+/// Leave-one-group-out CV restricted to `train_groups`: for each group g in
+/// train_groups, fit on the other groups' rows and score AUPRC on g's rows.
+/// Folds whose validation split has no positive sample are skipped (their
+/// AUPRC is undefined); at least one scorable fold is required.
+CrossValResult grouped_cross_validate(const ModelFactory& factory,
+                                      const Dataset& data,
+                                      std::span<const int> train_groups);
+
+}  // namespace drcshap

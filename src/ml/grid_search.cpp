@@ -1,0 +1,65 @@
+#include "ml/grid_search.hpp"
+
+#include <sstream>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace drcshap {
+
+std::vector<ParamSet> expand_grid(
+    const std::map<std::string, std::vector<double>>& grid) {
+  std::vector<ParamSet> out = {ParamSet{}};
+  for (const auto& [name, values] : grid) {
+    if (values.empty()) {
+      throw std::invalid_argument("expand_grid: empty candidate list for " +
+                                  name);
+    }
+    std::vector<ParamSet> next;
+    next.reserve(out.size() * values.size());
+    for (const ParamSet& base : out) {
+      for (const double v : values) {
+        ParamSet p = base;
+        p[name] = v;
+        next.push_back(std::move(p));
+      }
+    }
+    out = std::move(next);
+  }
+  return out;
+}
+
+GridSearchResult grid_search(
+    const ParamModelFactory& factory, const Dataset& data,
+    std::span<const int> train_groups,
+    const std::map<std::string, std::vector<double>>& grid) {
+  GridSearchResult result;
+  bool first = true;
+  for (const ParamSet& params : expand_grid(grid)) {
+    const CrossValResult cv = grouped_cross_validate(
+        [&] { return factory(params); }, data, train_groups);
+    log_debug("grid point ", to_string(params), " -> AUPRC ", cv.mean_auprc);
+    result.evaluations.emplace_back(params, cv.mean_auprc);
+    if (first || cv.mean_auprc > result.best_score) {
+      result.best_score = cv.mean_auprc;
+      result.best_params = params;
+      first = false;
+    }
+  }
+  return result;
+}
+
+std::string to_string(const ParamSet& params) {
+  std::ostringstream os;
+  os << "{";
+  bool first = true;
+  for (const auto& [name, value] : params) {
+    if (!first) os << ", ";
+    os << name << "=" << value;
+    first = false;
+  }
+  os << "}";
+  return os.str();
+}
+
+}  // namespace drcshap

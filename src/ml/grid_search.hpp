@@ -1,0 +1,42 @@
+#pragma once
+// Hyper-parameter grid search over grouped cross-validation, maximizing
+// AUPRC (the tuning criterion the paper states in Section III-B).
+
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ml/cross_validation.hpp"
+
+namespace drcshap {
+
+/// One hyper-parameter assignment.
+using ParamSet = std::map<std::string, double>;
+
+/// Builds a fresh model for the given hyper-parameters.
+using ParamModelFactory =
+    std::function<std::unique_ptr<BinaryClassifier>(const ParamSet&)>;
+
+/// Cartesian product of per-parameter candidate lists.
+std::vector<ParamSet> expand_grid(
+    const std::map<std::string, std::vector<double>>& grid);
+
+struct GridSearchResult {
+  ParamSet best_params;
+  double best_score = 0.0;
+  /// (params, mean CV AUPRC) for every evaluated point, in grid order.
+  std::vector<std::pair<ParamSet, double>> evaluations;
+};
+
+/// Evaluates every grid point with grouped CV on `train_groups` and returns
+/// the best (ties: first in grid order).
+GridSearchResult grid_search(const ParamModelFactory& factory,
+                             const Dataset& data,
+                             std::span<const int> train_groups,
+                             const std::map<std::string, std::vector<double>>& grid);
+
+/// Formats a ParamSet like "{trees=150, mtry=20}" for logs and reports.
+std::string to_string(const ParamSet& params);
+
+}  // namespace drcshap

@@ -1,0 +1,191 @@
+#include "ml/metrics.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <numeric>
+#include <stdexcept>
+
+namespace drcshap {
+
+namespace {
+
+constexpr double kNaN = std::numeric_limits<double>::quiet_NaN();
+
+void check_sizes(std::span<const double> scores,
+                 std::span<const std::uint8_t> labels) {
+  if (scores.size() != labels.size() || scores.empty()) {
+    throw std::invalid_argument("metrics: scores/labels size mismatch");
+  }
+}
+
+/// Cumulative (tp, fp) after each distinct-score group in descending order,
+/// plus total positives/negatives.
+struct Sweep {
+  std::vector<std::size_t> tp;   // after group i
+  std::vector<std::size_t> fp;
+  std::vector<double> threshold; // group score
+  std::size_t pos = 0;
+  std::size_t neg = 0;
+};
+
+Sweep sweep_thresholds(std::span<const double> scores,
+                       std::span<const std::uint8_t> labels) {
+  check_sizes(scores, labels);
+  std::vector<std::size_t> order(scores.size());
+  std::iota(order.begin(), order.end(), 0);
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return scores[a] > scores[b];
+  });
+  Sweep s;
+  for (const std::uint8_t l : labels) {
+    if (l) {
+      ++s.pos;
+    } else {
+      ++s.neg;
+    }
+  }
+  std::size_t tp = 0, fp = 0;
+  std::size_t i = 0;
+  while (i < order.size()) {
+    const double score = scores[order[i]];
+    while (i < order.size() && scores[order[i]] == score) {
+      if (labels[order[i]]) {
+        ++tp;
+      } else {
+        ++fp;
+      }
+      ++i;
+    }
+    s.tp.push_back(tp);
+    s.fp.push_back(fp);
+    s.threshold.push_back(score);
+  }
+  return s;
+}
+
+}  // namespace
+
+double ConfusionCounts::tpr() const {
+  return tp + fn == 0 ? kNaN : static_cast<double>(tp) / static_cast<double>(tp + fn);
+}
+double ConfusionCounts::fpr() const {
+  return tn + fp == 0 ? kNaN : static_cast<double>(fp) / static_cast<double>(tn + fp);
+}
+double ConfusionCounts::precision() const {
+  return tp + fp == 0 ? 0.0 : static_cast<double>(tp) / static_cast<double>(tp + fp);
+}
+double ConfusionCounts::accuracy() const {
+  const std::size_t total = tp + fp + tn + fn;
+  return total == 0 ? kNaN : static_cast<double>(tp + tn) / static_cast<double>(total);
+}
+
+ConfusionCounts confusion_at_threshold(std::span<const double> scores,
+                                       std::span<const std::uint8_t> labels,
+                                       double threshold) {
+  check_sizes(scores, labels);
+  ConfusionCounts c;
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    const bool predicted = scores[i] >= threshold;
+    if (predicted && labels[i]) ++c.tp;
+    if (predicted && !labels[i]) ++c.fp;
+    if (!predicted && labels[i]) ++c.fn;
+    if (!predicted && !labels[i]) ++c.tn;
+  }
+  return c;
+}
+
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const std::uint8_t> labels) {
+  const Sweep s = sweep_thresholds(scores, labels);
+  if (s.pos == 0 || s.neg == 0) {
+    throw std::invalid_argument("roc_curve: needs both classes");
+  }
+  std::vector<RocPoint> out;
+  out.reserve(s.tp.size() + 1);
+  out.push_back({0.0, 0.0, std::numeric_limits<double>::infinity()});
+  for (std::size_t i = 0; i < s.tp.size(); ++i) {
+    out.push_back({static_cast<double>(s.fp[i]) / static_cast<double>(s.neg),
+                   static_cast<double>(s.tp[i]) / static_cast<double>(s.pos),
+                   s.threshold[i]});
+  }
+  return out;
+}
+
+std::vector<PrPoint> pr_curve(std::span<const double> scores,
+                              std::span<const std::uint8_t> labels) {
+  const Sweep s = sweep_thresholds(scores, labels);
+  if (s.pos == 0) throw std::invalid_argument("pr_curve: no positives");
+  std::vector<PrPoint> out;
+  out.reserve(s.tp.size());
+  for (std::size_t i = 0; i < s.tp.size(); ++i) {
+    const std::size_t predicted = s.tp[i] + s.fp[i];
+    out.push_back({static_cast<double>(s.tp[i]) / static_cast<double>(s.pos),
+                   predicted == 0 ? 1.0
+                                  : static_cast<double>(s.tp[i]) /
+                                        static_cast<double>(predicted),
+                   s.threshold[i]});
+  }
+  return out;
+}
+
+double auroc(std::span<const double> scores,
+             std::span<const std::uint8_t> labels) {
+  const Sweep s = sweep_thresholds(scores, labels);
+  if (s.pos == 0 || s.neg == 0) return kNaN;
+  double area = 0.0;
+  double prev_fpr = 0.0, prev_tpr = 0.0;
+  for (std::size_t i = 0; i < s.tp.size(); ++i) {
+    const double fpr = static_cast<double>(s.fp[i]) / static_cast<double>(s.neg);
+    const double tpr = static_cast<double>(s.tp[i]) / static_cast<double>(s.pos);
+    area += (fpr - prev_fpr) * (tpr + prev_tpr) / 2.0;
+    prev_fpr = fpr;
+    prev_tpr = tpr;
+  }
+  return area;
+}
+
+double auprc(std::span<const double> scores,
+             std::span<const std::uint8_t> labels) {
+  const Sweep s = sweep_thresholds(scores, labels);
+  if (s.pos == 0) return kNaN;
+  double area = 0.0;
+  double prev_recall = 0.0;
+  for (std::size_t i = 0; i < s.tp.size(); ++i) {
+    const double recall =
+        static_cast<double>(s.tp[i]) / static_cast<double>(s.pos);
+    const std::size_t predicted = s.tp[i] + s.fp[i];
+    const double precision =
+        predicted == 0 ? 1.0
+                       : static_cast<double>(s.tp[i]) /
+                             static_cast<double>(predicted);
+    area += (recall - prev_recall) * precision;
+    prev_recall = recall;
+  }
+  return area;
+}
+
+OperatingPoint operating_point_at_fpr(std::span<const double> scores,
+                                      std::span<const std::uint8_t> labels,
+                                      double max_fpr) {
+  const Sweep s = sweep_thresholds(scores, labels);
+  if (s.pos == 0 || s.neg == 0) {
+    return {kNaN, kNaN, kNaN, kNaN};
+  }
+  OperatingPoint best{0.0, 0.0, 0.0,
+                      std::numeric_limits<double>::infinity()};
+  for (std::size_t i = 0; i < s.tp.size(); ++i) {
+    const double fpr = static_cast<double>(s.fp[i]) / static_cast<double>(s.neg);
+    if (fpr > max_fpr) break;  // fpr is nondecreasing along the sweep
+    const double tpr = static_cast<double>(s.tp[i]) / static_cast<double>(s.pos);
+    const std::size_t predicted = s.tp[i] + s.fp[i];
+    best = {tpr,
+            predicted == 0 ? 0.0
+                           : static_cast<double>(s.tp[i]) /
+                                 static_cast<double>(predicted),
+            fpr, s.threshold[i]};
+  }
+  return best;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,74 @@
+#pragma once
+// Evaluation metrics of Section III-B: ROC and precision-recall curves, the
+// areas under them, and the operating point at a fixed false-positive rate
+// (the paper reports TPR* and Prec* at FPR = 0.5%).
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace drcshap {
+
+struct ConfusionCounts {
+  std::size_t tp = 0;
+  std::size_t fp = 0;
+  std::size_t tn = 0;
+  std::size_t fn = 0;
+
+  double tpr() const;        ///< recall, TP / (TP + FN)
+  double fpr() const;        ///< FP / (TN + FP)
+  double precision() const;  ///< TP / (TP + FP)
+  double accuracy() const;
+};
+
+/// Counts at a fixed decision threshold (score >= threshold => positive).
+ConfusionCounts confusion_at_threshold(std::span<const double> scores,
+                                       std::span<const std::uint8_t> labels,
+                                       double threshold);
+
+struct RocPoint {
+  double fpr = 0.0;
+  double tpr = 0.0;
+  double threshold = 0.0;
+};
+
+struct PrPoint {
+  double recall = 0.0;
+  double precision = 0.0;
+  double threshold = 0.0;
+};
+
+/// ROC points from a descending threshold sweep (ties grouped), starting at
+/// (0,0) and ending at (1,1). Requires at least one positive and one
+/// negative label.
+std::vector<RocPoint> roc_curve(std::span<const double> scores,
+                                std::span<const std::uint8_t> labels);
+
+/// Precision-recall points from the same sweep. Requires >= 1 positive.
+std::vector<PrPoint> pr_curve(std::span<const double> scores,
+                              std::span<const std::uint8_t> labels);
+
+/// Area under the ROC curve (trapezoidal). NaN if labels are one-class.
+double auroc(std::span<const double> scores,
+             std::span<const std::uint8_t> labels);
+
+/// Area under the precision-recall curve, computed as average precision
+/// (sum over the sweep of (R_i - R_{i-1}) * P_i), the standard estimator
+/// consistent with Davis & Goadrich. NaN if there are no positives.
+double auprc(std::span<const double> scores,
+             std::span<const std::uint8_t> labels);
+
+struct OperatingPoint {
+  double tpr = 0.0;        ///< TPR* in the paper
+  double precision = 0.0;  ///< Prec*
+  double fpr = 0.0;        ///< achieved FPR (<= requested)
+  double threshold = 0.0;
+};
+
+/// The operating point with maximum TPR subject to FPR <= max_fpr
+/// (threshold sweep with score ties grouped). The paper uses max_fpr=0.005.
+OperatingPoint operating_point_at_fpr(std::span<const double> scores,
+                                      std::span<const std::uint8_t> labels,
+                                      double max_fpr = 0.005);
+
+}  // namespace drcshap

@@ -1,0 +1,55 @@
+#include "ml/scaler.hpp"
+
+#include <cmath>
+#include <stdexcept>
+
+namespace drcshap {
+
+void StandardScaler::fit(const Dataset& data) {
+  if (data.n_rows() == 0) throw std::invalid_argument("StandardScaler: empty");
+  const std::size_t nf = data.n_features();
+  mean_.assign(nf, 0.0);
+  stddev_.assign(nf, 0.0);
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < nf; ++f) mean_[f] += row[f];
+  }
+  for (auto& m : mean_) m /= static_cast<double>(data.n_rows());
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    const auto row = data.row(i);
+    for (std::size_t f = 0; f < nf; ++f) {
+      const double d = row[f] - mean_[f];
+      stddev_[f] += d * d;
+    }
+  }
+  for (auto& s : stddev_) {
+    s = std::sqrt(s / static_cast<double>(data.n_rows()));
+    if (s < 1e-12) s = 1.0;  // constant feature
+  }
+}
+
+void StandardScaler::transform_row(std::span<float> row) const {
+  if (row.size() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: row size mismatch");
+  }
+  for (std::size_t f = 0; f < row.size(); ++f) {
+    row[f] = static_cast<float>((row[f] - mean_[f]) / stddev_[f]);
+  }
+}
+
+void StandardScaler::transform(Dataset& data) const {
+  if (data.n_features() != mean_.size()) {
+    throw std::invalid_argument("StandardScaler: dataset size mismatch");
+  }
+  float* x = data.mutable_features();
+  for (std::size_t i = 0; i < data.n_rows(); ++i) {
+    transform_row({x + i * data.n_features(), data.n_features()});
+  }
+}
+
+void StandardScaler::fit_transform(Dataset& data) {
+  fit(data);
+  transform(data);
+}
+
+}  // namespace drcshap

@@ -1,0 +1,38 @@
+#pragma once
+// Per-feature standardization (zero mean, unit variance). The optimization-
+// based baselines (SVM-RBF, NNs) need scaled inputs; trees are scale
+// invariant, but the paper feeds all models "the 387 normalized features",
+// so the benches scale once and share the result.
+
+#include <span>
+#include <vector>
+
+#include "ml/dataset.hpp"
+
+namespace drcshap {
+
+class StandardScaler {
+ public:
+  /// Learn per-feature mean and standard deviation. Constant features get
+  /// scale 1 (they transform to 0).
+  void fit(const Dataset& data);
+
+  /// Transform one row in place.
+  void transform_row(std::span<float> row) const;
+
+  /// Transform a whole dataset in place.
+  void transform(Dataset& data) const;
+
+  /// fit + transform.
+  void fit_transform(Dataset& data);
+
+  bool fitted() const { return !mean_.empty(); }
+  const std::vector<double>& mean() const { return mean_; }
+  const std::vector<double>& stddev() const { return stddev_; }
+
+ private:
+  std::vector<double> mean_;
+  std::vector<double> stddev_;
+};
+
+}  // namespace drcshap

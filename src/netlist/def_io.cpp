@@ -1,0 +1,186 @@
+#include "netlist/def_io.hpp"
+
+#include <fstream>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace drcshap {
+
+namespace {
+
+std::string quote(const std::string& s) {
+  std::string out = "\"";
+  for (const char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+std::string read_quoted(std::istream& is) {
+  char c = 0;
+  is >> c;
+  if (c != '"') throw std::runtime_error("def-lite: expected quoted string");
+  std::string out;
+  while (is.get(c)) {
+    if (c == '\\') {
+      if (!is.get(c)) break;
+      out += c;
+    } else if (c == '"') {
+      return out;
+    } else {
+      out += c;
+    }
+  }
+  throw std::runtime_error("def-lite: unterminated string");
+}
+
+void expect(std::istream& is, const std::string& keyword) {
+  std::string tok;
+  is >> tok;
+  if (tok != keyword) {
+    throw std::runtime_error("def-lite: expected '" + keyword + "', got '" +
+                             tok + "'");
+  }
+}
+
+}  // namespace
+
+void write_def_lite(const Design& d, std::ostream& os) {
+  os << std::setprecision(17);
+  os << "DESIGN " << quote(d.name()) << "\n";
+  os << "DIE " << d.die().x_lo << " " << d.die().y_lo << " " << d.die().x_hi
+     << " " << d.die().y_hi << "\n";
+  os << "GRID " << d.grid().nx() << " " << d.grid().ny() << "\n";
+  const Technology& t = d.tech();
+  os << "TECH " << t.num_metal_layers;
+  for (const int v : t.tracks_per_gcell) os << " " << v;
+  for (const int v : t.vias_per_gcell) os << " " << v;
+  os << "\n";
+  os << "MACROS " << d.num_macros() << "\n";
+  for (const Macro& m : d.macros()) {
+    os << "  MACRO " << quote(m.name) << " " << m.box.x_lo << " " << m.box.y_lo
+       << " " << m.box.x_hi << " " << m.box.y_hi << " "
+       << m.blocked_metal_layers << "\n";
+  }
+  os << "CELLS " << d.num_cells() << "\n";
+  for (const Cell& c : d.cells()) {
+    os << "  CELL " << quote(c.name) << " " << c.box.x_lo << " " << c.box.y_lo
+       << " " << c.box.x_hi << " " << c.box.y_hi << " "
+       << (c.is_multi_height ? 1 : 0) << "\n";
+  }
+  os << "NETS " << d.num_nets() << "\n";
+  for (const Net& n : d.nets()) {
+    os << "  NET " << quote(n.name) << " " << (n.is_clock ? 1 : 0) << " "
+       << (n.has_ndr ? 1 : 0) << "\n";
+  }
+  os << "PINS " << d.num_pins() << "\n";
+  for (const Pin& p : d.pins()) {
+    os << "  PIN " << (p.cell == kInvalidId ? -1 : static_cast<long long>(p.cell))
+       << " " << p.net << " " << p.position.x << " " << p.position.y << " "
+       << (p.is_clock ? 1 : 0) << " " << (p.has_ndr ? 1 : 0) << "\n";
+  }
+  os << "BLOCKAGES " << d.blockages().size() << "\n";
+  for (const Blockage& b : d.blockages()) {
+    os << "  BLOCKAGE " << b.box.x_lo << " " << b.box.y_lo << " " << b.box.x_hi
+       << " " << b.box.y_hi << " " << b.metal_lo << " " << b.metal_hi << "\n";
+  }
+  os << "END\n";
+}
+
+void write_def_lite_file(const Design& design, const std::string& path) {
+  std::ofstream os(path, std::ios::trunc);
+  if (!os) throw std::runtime_error("write_def_lite_file: cannot open " + path);
+  write_def_lite(design, os);
+}
+
+Design read_def_lite(std::istream& is) {
+  expect(is, "DESIGN");
+  const std::string name = read_quoted(is);
+  expect(is, "DIE");
+  Rect die;
+  is >> die.x_lo >> die.y_lo >> die.x_hi >> die.y_hi;
+  expect(is, "GRID");
+  std::size_t nx = 0, ny = 0;
+  is >> nx >> ny;
+  expect(is, "TECH");
+  Technology tech;
+  is >> tech.num_metal_layers;
+  tech.tracks_per_gcell.assign(tech.num_metal_layers, 0);
+  for (int& v : tech.tracks_per_gcell) is >> v;
+  tech.vias_per_gcell.assign(tech.num_via_layers(), 0);
+  for (int& v : tech.vias_per_gcell) is >> v;
+  if (!is) throw std::runtime_error("def-lite: bad header");
+
+  Design d(name, die, nx, ny, tech);
+
+  expect(is, "MACROS");
+  std::size_t count = 0;
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(is, "MACRO");
+    Macro m;
+    m.name = read_quoted(is);
+    is >> m.box.x_lo >> m.box.y_lo >> m.box.x_hi >> m.box.y_hi >>
+        m.blocked_metal_layers;
+    d.add_macro(std::move(m));
+  }
+  expect(is, "CELLS");
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(is, "CELL");
+    Cell c;
+    c.name = read_quoted(is);
+    int multi = 0;
+    is >> c.box.x_lo >> c.box.y_lo >> c.box.x_hi >> c.box.y_hi >> multi;
+    c.is_multi_height = multi != 0;
+    d.add_cell(std::move(c));
+  }
+  expect(is, "NETS");
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(is, "NET");
+    Net n;
+    n.name = read_quoted(is);
+    int clk = 0, ndr = 0;
+    is >> clk >> ndr;
+    n.is_clock = clk != 0;
+    n.has_ndr = ndr != 0;
+    d.add_net(std::move(n));
+  }
+  expect(is, "PINS");
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(is, "PIN");
+    Pin p;
+    long long cell = -1;
+    int clk = 0, ndr = 0;
+    is >> cell >> p.net >> p.position.x >> p.position.y >> clk >> ndr;
+    p.cell = cell < 0 ? kInvalidId : static_cast<CellId>(cell);
+    p.is_clock = clk != 0;
+    p.has_ndr = ndr != 0;
+    d.add_pin(p);
+  }
+  expect(is, "BLOCKAGES");
+  is >> count;
+  for (std::size_t i = 0; i < count; ++i) {
+    expect(is, "BLOCKAGE");
+    Blockage b;
+    is >> b.box.x_lo >> b.box.y_lo >> b.box.x_hi >> b.box.y_hi >> b.metal_lo >>
+        b.metal_hi;
+    d.add_blockage(b);
+  }
+  expect(is, "END");
+  if (!is) throw std::runtime_error("def-lite: truncated input");
+  return d;
+}
+
+Design read_def_lite_file(const std::string& path) {
+  std::ifstream is(path);
+  if (!is) throw std::runtime_error("read_def_lite_file: cannot open " + path);
+  return read_def_lite(is);
+}
+
+}  // namespace drcshap

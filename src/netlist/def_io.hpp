@@ -1,0 +1,22 @@
+#pragma once
+// DEF-lite text serialization for Design. Not LEF/DEF — a small, line-based
+// format sufficient to persist synthetic designs and reload them in tests and
+// tooling (the role a placed .def plays in the paper's flow).
+
+#include <iosfwd>
+#include <string>
+
+#include "netlist/design.hpp"
+
+namespace drcshap {
+
+/// Serialize the full design (die, grid, tech, macros, cells, nets, pins,
+/// blockages) to a text stream.
+void write_def_lite(const Design& design, std::ostream& os);
+void write_def_lite_file(const Design& design, const std::string& path);
+
+/// Parse a design back. Throws std::runtime_error on malformed input.
+Design read_def_lite(std::istream& is);
+Design read_def_lite_file(const std::string& path);
+
+}  // namespace drcshap

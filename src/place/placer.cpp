@@ -1,0 +1,255 @@
+#include "place/placer.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <stdexcept>
+
+#include "util/log.hpp"
+
+namespace drcshap {
+
+namespace {
+
+/// A maximal free x-interval within a placement row.
+struct FreeSlot {
+  double lo = 0.0;
+  double hi = 0.0;
+  double free_width() const { return hi - lo; }
+};
+
+/// One placement row: its y span and remaining free slots.
+struct Row {
+  double y_lo = 0.0;
+  double y_hi = 0.0;
+  std::vector<FreeSlot> slots;  ///< sorted by lo
+};
+
+/// Carve `obstacle`'s x-span out of the row's free slots if it overlaps in y.
+void carve_obstacle(Row& row, const Rect& obstacle) {
+  if (obstacle.y_hi <= row.y_lo || obstacle.y_lo >= row.y_hi) return;
+  std::vector<FreeSlot> next;
+  next.reserve(row.slots.size() + 1);
+  for (const FreeSlot& s : row.slots) {
+    if (obstacle.x_hi <= s.lo || obstacle.x_lo >= s.hi) {
+      next.push_back(s);
+      continue;
+    }
+    if (obstacle.x_lo > s.lo) next.push_back({s.lo, obstacle.x_lo});
+    if (obstacle.x_hi < s.hi) next.push_back({obstacle.x_hi, s.hi});
+  }
+  row.slots = std::move(next);
+}
+
+/// Occupy [x, x + width) inside slot `index`, splitting the remainder into
+/// up to two new free slots (keeps all remaining space usable).
+void occupy(Row& row, std::size_t index, double x, double width) {
+  const FreeSlot s = row.slots[index];
+  row.slots.erase(row.slots.begin() + static_cast<std::ptrdiff_t>(index));
+  if (x + width < s.hi - 1e-12) {
+    row.slots.insert(row.slots.begin() + static_cast<std::ptrdiff_t>(index),
+                     {x + width, s.hi});
+  }
+  if (x > s.lo + 1e-12) {
+    row.slots.insert(row.slots.begin() + static_cast<std::ptrdiff_t>(index),
+                     {s.lo, x});
+  }
+}
+
+/// Try to place a cell of `width` in `row`, preferring x near `desired_x`.
+/// Returns the placed x_lo or nullopt if the row has no room.
+std::optional<double> try_place_in_row(Row& row, double width,
+                                       double desired_x) {
+  // Pass 1: the best-fitting slot near desired_x (smallest displacement).
+  std::size_t best = row.slots.size();
+  double best_cost = std::numeric_limits<double>::infinity();
+  double best_x = 0.0;
+  for (std::size_t i = 0; i < row.slots.size(); ++i) {
+    const FreeSlot& s = row.slots[i];
+    if (s.free_width() + 1e-12 < width) continue;
+    const double x = std::clamp(desired_x, s.lo, s.hi - width);
+    const double cost = std::abs(x - desired_x);
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = i;
+      best_x = x;
+    }
+  }
+  if (best == row.slots.size()) return std::nullopt;
+  occupy(row, best, best_x, width);
+  return best_x;
+}
+
+}  // namespace
+
+Design place_design(const NetlistSpec& spec, const PlacerOptions& options) {
+  if (spec.die.empty()) throw std::invalid_argument("place_design: empty die");
+  if (options.row_height <= 0.0) {
+    throw std::invalid_argument("place_design: non-positive row height");
+  }
+  Rng rng(options.seed);
+
+  Design design(spec.name, spec.die, spec.gcells_x, spec.gcells_y, spec.tech);
+  for (const Macro& m : spec.macros) design.add_macro(m);
+  for (const Blockage& b : spec.blockages) design.add_blockage(b);
+  // Macros also act as routing blockages on their blocked layers.
+  for (const Macro& m : spec.macros) {
+    design.add_blockage({m.box, 0, m.blocked_metal_layers - 1});
+  }
+
+  // Build rows and carve macro keep-outs.
+  const std::size_t n_rows = static_cast<std::size_t>(
+      std::floor(spec.die.height() / options.row_height));
+  if (n_rows == 0) throw std::invalid_argument("place_design: die too short");
+  std::vector<Row> rows(n_rows);
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    rows[r].y_lo = spec.die.y_lo + static_cast<double>(r) * options.row_height;
+    rows[r].y_hi = rows[r].y_lo + options.row_height;
+    rows[r].slots = {{spec.die.x_lo, spec.die.x_hi}};
+  }
+  for (const Macro& m : spec.macros) {
+    for (Row& row : rows) carve_obstacle(row, m.box);
+  }
+
+  // Draw a desired location per cell from its cluster, then legalize.
+  struct Target {
+    std::uint32_t cell = 0;
+    double x = 0.0;
+    std::size_t row = 0;
+  };
+  std::vector<Target> targets(spec.cells.size());
+  for (std::uint32_t i = 0; i < spec.cells.size(); ++i) {
+    const CellSpec& c = spec.cells[i];
+    Point want = spec.die.center();
+    if (c.cluster < spec.clusters.size()) {
+      const ClusterSpec& cl = spec.clusters[c.cluster];
+      want = {rng.normal(cl.center.x, cl.spread),
+              rng.normal(cl.center.y, cl.spread)};
+    } else {
+      want = {rng.uniform(spec.die.x_lo, spec.die.x_hi),
+              rng.uniform(spec.die.y_lo, spec.die.y_hi)};
+    }
+    want.x = std::clamp(want.x, spec.die.x_lo, spec.die.x_hi - c.width);
+    want.y = std::clamp(want.y, spec.die.y_lo,
+                        spec.die.y_hi - options.row_height);
+    const auto row = static_cast<std::size_t>(
+        std::min<double>(static_cast<double>(n_rows) - 1.0,
+                         (want.y - spec.die.y_lo) / options.row_height));
+    targets[i] = {i, want.x, row};
+  }
+
+  // Multi-height cells first (they span two rows and constrain more), then
+  // single-height; within each class, row-major then by x so packing is
+  // deterministic and locality-preserving.
+  std::stable_sort(targets.begin(), targets.end(),
+                   [&](const Target& a, const Target& b) {
+                     const bool ma = spec.cells[a.cell].multi_height;
+                     const bool mb = spec.cells[b.cell].multi_height;
+                     if (ma != mb) return ma > mb;
+                     if (a.row != b.row) return a.row < b.row;
+                     return a.x < b.x;
+                   });
+
+  std::vector<Rect> placed(spec.cells.size());
+  std::vector<bool> done(spec.cells.size(), false);
+
+  auto place_single = [&](const Target& t) -> bool {
+    const CellSpec& c = spec.cells[t.cell];
+    // Spiral outward over rows from the target row.
+    for (std::size_t d = 0; d < n_rows; ++d) {
+      for (const int sign : {+1, -1}) {
+        if (d == 0 && sign < 0) continue;
+        const std::ptrdiff_t r =
+            static_cast<std::ptrdiff_t>(t.row) + sign * static_cast<std::ptrdiff_t>(d);
+        if (r < 0 || r >= static_cast<std::ptrdiff_t>(n_rows)) continue;
+        Row& row = rows[static_cast<std::size_t>(r)];
+        if (const auto x = try_place_in_row(row, c.width, t.x)) {
+          placed[t.cell] = {*x, row.y_lo, *x + c.width, row.y_lo + c.height};
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  auto place_multi = [&](const Target& t) -> bool {
+    const CellSpec& c = spec.cells[t.cell];
+    for (std::size_t d = 0; d < n_rows; ++d) {
+      for (const int sign : {+1, -1}) {
+        if (d == 0 && sign < 0) continue;
+        const std::ptrdiff_t r0 =
+            static_cast<std::ptrdiff_t>(t.row) + sign * static_cast<std::ptrdiff_t>(d);
+        if (r0 < 0 || r0 + 1 >= static_cast<std::ptrdiff_t>(n_rows)) continue;
+        Row& lower = rows[static_cast<std::size_t>(r0)];
+        Row& upper = rows[static_cast<std::size_t>(r0) + 1];
+        // Find an x position free in both rows: occupy in the lower row and
+        // carve the same span out of the upper row.
+        for (std::size_t i = 0; i < lower.slots.size(); ++i) {
+          const FreeSlot& s = lower.slots[i];
+          if (s.free_width() + 1e-12 < c.width) continue;
+          const double x = std::clamp(t.x, s.lo, s.hi - c.width);
+          const Rect span{x, upper.y_lo, x + c.width, upper.y_hi};
+          bool upper_free = false;
+          for (const FreeSlot& u : upper.slots) {
+            if (u.lo <= x + 1e-12 && x + c.width <= u.hi + 1e-12) {
+              upper_free = true;
+              break;
+            }
+          }
+          if (!upper_free) continue;
+          occupy(lower, i, x, c.width);
+          carve_obstacle(upper, span);
+          placed[t.cell] = {x, lower.y_lo, x + c.width,
+                            lower.y_lo + 2.0 * options.row_height};
+          return true;
+        }
+      }
+    }
+    return false;
+  };
+
+  std::size_t failures = 0;
+  for (const Target& t : targets) {
+    const bool ok = spec.cells[t.cell].multi_height ? place_multi(t)
+                                                    : place_single(t);
+    if (ok) {
+      done[t.cell] = true;
+    } else {
+      ++failures;
+    }
+  }
+  if (failures > 0) {
+    throw std::runtime_error("place_design: " + std::to_string(failures) +
+                             " cells could not be legalized (die too full)");
+  }
+
+  // Materialize cells in spec order so CellIds match spec indices.
+  for (std::uint32_t i = 0; i < spec.cells.size(); ++i) {
+    design.add_cell({spec.name + "/c" + std::to_string(i), placed[i],
+                     spec.cells[i].multi_height});
+  }
+
+  // Nets and pins. Pin offsets inside the owning cell are jittered
+  // deterministically so pin-spacing statistics vary across g-cells.
+  for (std::uint32_t n = 0; n < spec.nets.size(); ++n) {
+    const NetSpec& ns = spec.nets[n];
+    const NetId net_id = design.add_net(
+        {spec.name + "/n" + std::to_string(n), {}, ns.is_clock, ns.has_ndr});
+    for (const std::uint32_t cell_idx : ns.cells) {
+      if (cell_idx >= spec.cells.size()) {
+        throw std::invalid_argument("place_design: net references bad cell");
+      }
+      const Rect& box = placed[cell_idx];
+      const double fx = 0.15 + 0.7 * rng.uniform();
+      const double fy = 0.15 + 0.7 * rng.uniform();
+      design.add_pin({cell_idx, net_id,
+                      {box.x_lo + fx * box.width(), box.y_lo + fy * box.height()},
+                      ns.is_clock, ns.has_ndr});
+    }
+  }
+
+  design.validate();
+  return design;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,171 @@
+#include "route/congestion.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drcshap {
+
+CongestionMap CongestionMap::extract(const GridGraph& graph) {
+  CongestionMap map;
+  map.nx_ = graph.nx();
+  map.ny_ = graph.ny();
+  map.num_metal_ = graph.num_metal_layers();
+
+  map.edge_cap_.resize(static_cast<std::size_t>(map.num_metal_));
+  map.edge_load_.resize(static_cast<std::size_t>(map.num_metal_));
+  for (int m = 0; m < map.num_metal_; ++m) {
+    const std::size_t count = Technology::is_horizontal(m)
+                                  ? (map.nx_ - 1) * map.ny_
+                                  : map.nx_ * (map.ny_ - 1);
+    auto& caps = map.edge_cap_[static_cast<std::size_t>(m)];
+    auto& loads = map.edge_load_[static_cast<std::size_t>(m)];
+    caps.resize(count);
+    loads.resize(count);
+    for (std::size_t cell = 0; cell < graph.num_cells(); ++cell) {
+      const auto e = graph.edge_low(m, cell);
+      if (!e) continue;
+      const std::size_t c = cell % map.nx_;
+      const std::size_t r = cell / map.nx_;
+      const std::size_t w = Technology::is_horizontal(m)
+                                ? r * (map.nx_ - 1) + c
+                                : r * map.nx_ + c;
+      caps[w] = graph.edge_capacity(*e);
+      loads[w] = graph.edge_load(*e);
+    }
+  }
+
+  map.via_cap_.resize(static_cast<std::size_t>(map.num_via_layers()));
+  map.via_load_.resize(static_cast<std::size_t>(map.num_via_layers()));
+  for (int v = 0; v < map.num_via_layers(); ++v) {
+    auto& caps = map.via_cap_[static_cast<std::size_t>(v)];
+    auto& loads = map.via_load_[static_cast<std::size_t>(v)];
+    caps.resize(graph.num_cells());
+    loads.resize(graph.num_cells());
+    for (std::size_t cell = 0; cell < graph.num_cells(); ++cell) {
+      caps[cell] = graph.via_capacity(v, cell);
+      loads[cell] = graph.via_load(v, cell);
+    }
+  }
+  return map;
+}
+
+std::size_t CongestionMap::edge_index(int metal, std::size_t low_cell) const {
+  const std::size_t c = low_cell % nx_;
+  const std::size_t r = low_cell / nx_;
+  return Technology::is_horizontal(metal) ? r * (nx_ - 1) + c : r * nx_ + c;
+}
+
+bool CongestionMap::has_edge(int metal, std::size_t cell_a,
+                             std::size_t cell_b) const {
+  if (metal < 0 || metal >= num_metal_) return false;
+  const std::size_t lo = std::min(cell_a, cell_b);
+  const std::size_t hi = std::max(cell_a, cell_b);
+  const bool horizontal_step = (hi == lo + 1) && (lo % nx_ != nx_ - 1);
+  const bool vertical_step = hi == lo + nx_;
+  if (!horizontal_step && !vertical_step) return false;
+  return Technology::is_horizontal(metal) ? horizontal_step : vertical_step;
+}
+
+int CongestionMap::edge_capacity(int metal, std::size_t cell_a,
+                                 std::size_t cell_b) const {
+  if (!has_edge(metal, cell_a, cell_b)) return 0;
+  return edge_cap_[static_cast<std::size_t>(metal)]
+                  [edge_index(metal, std::min(cell_a, cell_b))];
+}
+
+int CongestionMap::edge_load(int metal, std::size_t cell_a,
+                             std::size_t cell_b) const {
+  if (!has_edge(metal, cell_a, cell_b)) return 0;
+  return edge_load_[static_cast<std::size_t>(metal)]
+                   [edge_index(metal, std::min(cell_a, cell_b))];
+}
+
+int CongestionMap::via_capacity(int via_layer, std::size_t cell) const {
+  return via_cap_.at(static_cast<std::size_t>(via_layer)).at(cell);
+}
+
+int CongestionMap::via_load(int via_layer, std::size_t cell) const {
+  return via_load_.at(static_cast<std::size_t>(via_layer)).at(cell);
+}
+
+double CongestionMap::cell_edge_utilization(int metal, std::size_t cell) const {
+  double worst = 0.0;
+  const std::size_t c = cell % nx_;
+  const std::size_t r = cell / nx_;
+  auto consider = [&](std::size_t a, std::size_t b) {
+    const int cap = edge_capacity(metal, a, b);
+    const int load = edge_load(metal, a, b);
+    if (cap > 0) {
+      worst = std::max(worst, static_cast<double>(load) / cap);
+    } else if (load > 0) {
+      worst = std::max(worst, 2.0);
+    }
+  };
+  if (Technology::is_horizontal(metal)) {
+    if (c > 0) consider(cell - 1, cell);
+    if (c + 1 < nx_) consider(cell, cell + 1);
+  } else {
+    if (r > 0) consider(cell - nx_, cell);
+    if (r + 1 < ny_) consider(cell, cell + nx_);
+  }
+  return worst;
+}
+
+int CongestionMap::cell_edge_overflow(int metal, std::size_t cell) const {
+  int total = 0;
+  const std::size_t c = cell % nx_;
+  const std::size_t r = cell / nx_;
+  auto consider = [&](std::size_t a, std::size_t b) {
+    total += std::max(0, edge_load(metal, a, b) - edge_capacity(metal, a, b));
+  };
+  if (Technology::is_horizontal(metal)) {
+    if (c > 0) consider(cell - 1, cell);
+    if (c + 1 < nx_) consider(cell, cell + 1);
+  } else {
+    if (r > 0) consider(cell - nx_, cell);
+    if (r + 1 < ny_) consider(cell, cell + nx_);
+  }
+  return total;
+}
+
+long CongestionMap::total_edge_overflow() const {
+  long total = 0;
+  for (int m = 0; m < num_metal_; ++m) {
+    const auto& caps = edge_cap_[static_cast<std::size_t>(m)];
+    const auto& loads = edge_load_[static_cast<std::size_t>(m)];
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      total += std::max(0, loads[i] - caps[i]);
+    }
+  }
+  return total;
+}
+
+long CongestionMap::total_via_overflow() const {
+  long total = 0;
+  for (int v = 0; v < num_via_layers(); ++v) {
+    const auto& caps = via_cap_[static_cast<std::size_t>(v)];
+    const auto& loads = via_load_[static_cast<std::size_t>(v)];
+    for (std::size_t i = 0; i < caps.size(); ++i) {
+      total += std::max(0, loads[i] - caps[i]);
+    }
+  }
+  return total;
+}
+
+std::string CongestionMap::ascii_heatmap(int metal) const {
+  static const char kRamp[] = " .:-=+*%@#";
+  std::string out;
+  out.reserve((nx_ + 1) * ny_);
+  for (std::size_t rr = ny_; rr-- > 0;) {
+    for (std::size_t c = 0; c < nx_; ++c) {
+      const double u = cell_edge_utilization(metal, rr * nx_ + c);
+      const int level = std::min(9, static_cast<int>(std::floor(u * 9.0)));
+      out += kRamp[level];
+    }
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace drcshap

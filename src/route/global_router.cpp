@@ -1,0 +1,180 @@
+#include "route/global_router.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <unordered_set>
+
+#include "route/maze_router.hpp"
+#include "route/pattern_router.hpp"
+#include "util/log.hpp"
+
+namespace drcshap {
+
+std::vector<std::pair<std::size_t, std::size_t>> decompose_net(
+    const Design& design, NetId net_id) {
+  const GCellGrid& grid = design.grid();
+  // Distinct g-cells touched by the net's pins, in first-seen order.
+  std::vector<std::size_t> cells;
+  for (const PinId p : design.net(net_id).pins) {
+    const std::size_t cell = grid.locate(design.pin(p).position);
+    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
+      cells.push_back(cell);
+    }
+  }
+  std::vector<std::pair<std::size_t, std::size_t>> segments;
+  if (cells.size() < 2) return segments;
+
+  // Prim MST over Manhattan g-cell distance (nets are small: O(k^2) is fine).
+  const std::size_t nx = grid.nx();
+  auto dist = [&](std::size_t a, std::size_t b) {
+    const auto ca = static_cast<long>(a % nx), ra = static_cast<long>(a / nx);
+    const auto cb = static_cast<long>(b % nx), rb = static_cast<long>(b / nx);
+    return std::labs(ca - cb) + std::labs(ra - rb);
+  };
+  std::vector<bool> in_tree(cells.size(), false);
+  std::vector<long> best_dist(cells.size(), std::numeric_limits<long>::max());
+  std::vector<std::size_t> best_parent(cells.size(), 0);
+  in_tree[0] = true;
+  for (std::size_t i = 1; i < cells.size(); ++i) {
+    best_dist[i] = dist(cells[0], cells[i]);
+    best_parent[i] = 0;
+  }
+  for (std::size_t added = 1; added < cells.size(); ++added) {
+    std::size_t pick = 0;
+    long pick_dist = std::numeric_limits<long>::max();
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!in_tree[i] && best_dist[i] < pick_dist) {
+        pick = i;
+        pick_dist = best_dist[i];
+      }
+    }
+    in_tree[pick] = true;
+    segments.emplace_back(cells[best_parent[pick]], cells[pick]);
+    for (std::size_t i = 0; i < cells.size(); ++i) {
+      if (!in_tree[i]) {
+        const long d = dist(cells[pick], cells[i]);
+        if (d < best_dist[i]) {
+          best_dist[i] = d;
+          best_parent[i] = pick;
+        }
+      }
+    }
+  }
+  return segments;
+}
+
+namespace {
+
+/// True if any resource used by `path` is overflowed in `graph`.
+bool touches_overflow(const GridGraph& graph, const RoutePath& path) {
+  for (const EdgeId e : path.edges) {
+    if (graph.edge_overflow(e) > 0) return true;
+  }
+  for (const auto& [layer, cell] : path.vias) {
+    if (graph.via_overflow(layer, cell) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace
+
+GlobalRouteResult global_route(const Design& design,
+                               const GlobalRouterOptions& options) {
+  GridGraph graph(design);
+  const GCellGrid& grid = design.grid();
+
+  // Pin-access demand: each net adds one V1 via per distinct g-cell its pins
+  // occupy (the connection from the pin level into the routing fabric).
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    std::unordered_set<std::size_t> cells;
+    for (const PinId p : design.net(n).pins) {
+      cells.insert(grid.locate(design.pin(p).position));
+    }
+    for (const std::size_t cell : cells) graph.add_via_load(0, cell, 1);
+  }
+
+  // Flatten all nets into 2-pin segments, track which net owns each.
+  struct Segment {
+    NetId net;
+    std::size_t seg_index;
+    std::size_t a, b;
+    long length;
+  };
+  std::vector<Segment> segments;
+  CongestionMap placeholder = CongestionMap::extract(graph);
+  GlobalRouteResult result{std::move(graph), std::move(placeholder),
+                           {}, 0, 0, 0, 0, 0};
+  result.routes.resize(design.num_nets());
+  const std::size_t nx = grid.nx();
+  for (NetId n = 0; n < design.num_nets(); ++n) {
+    result.routes[n].net = n;
+    auto pairs = decompose_net(design, n);
+    result.routes[n].segments.resize(pairs.size());
+    for (std::size_t s = 0; s < pairs.size(); ++s) {
+      const auto [a, b] = pairs[s];
+      const long len = std::labs(static_cast<long>(a % nx) - static_cast<long>(b % nx)) +
+                       std::labs(static_cast<long>(a / nx) - static_cast<long>(b / nx));
+      segments.push_back({n, s, a, b, len});
+    }
+  }
+  result.segments_total = segments.size();
+
+  // Route short segments first: they have the fewest detour options.
+  std::stable_sort(segments.begin(), segments.end(),
+                   [](const Segment& x, const Segment& y) {
+                     return x.length < y.length;
+                   });
+
+  GridGraph& g = result.graph;
+  for (const Segment& s : segments) {
+    RoutePath path = pattern_route(g, s.a, s.b, options.cost);
+    commit(g, path);
+    result.routes[s.net].segments[s.seg_index] = std::move(path);
+  }
+
+  // Negotiated-congestion rip-up-and-reroute.
+  MazeRouter maze(g);
+  if (options.use_maze) {
+    for (int iter = 0; iter < options.max_ripup_iterations; ++iter) {
+      if (g.total_edge_overflow() == 0 && g.total_via_overflow() == 0) break;
+      ++result.iterations_run;
+
+      // Accumulate history on currently overflowed edges.
+      for (std::size_t e = 0; e < g.num_edges(); ++e) {
+        const int over = g.edge_overflow(static_cast<EdgeId>(e));
+        if (over > 0) {
+          g.add_edge_history(static_cast<EdgeId>(e),
+                             options.history_increment * over);
+        }
+      }
+
+      std::size_t rerouted = 0;
+      for (const Segment& s : segments) {
+        if (rerouted >= options.max_reroutes_per_iteration) break;
+        RoutePath& path = result.routes[s.net].segments[s.seg_index];
+        if (path.empty() || !touches_overflow(g, path)) continue;
+        uncommit(g, path);
+        MazeResult mr = maze.route(s.a, s.b, options.cost);
+        if (mr.found) {
+          path = std::move(mr.path);
+        }
+        // (if not found, recommit the old path)
+        commit(g, path);
+        ++rerouted;
+      }
+      result.segments_rerouted += rerouted;
+      log_debug("global_route iter ", iter, ": rerouted ", rerouted,
+                ", edge_ovf ", g.total_edge_overflow(), ", via_ovf ",
+                g.total_via_overflow());
+      if (rerouted == 0) break;
+    }
+  }
+
+  result.edge_overflow = g.total_edge_overflow();
+  result.via_overflow = g.total_via_overflow();
+  result.congestion = CongestionMap::extract(g);
+  return result;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,47 @@
+#pragma once
+// Global-routing orchestrator: net decomposition, initial pattern routing,
+// and PathFinder-style negotiated-congestion rip-up-and-reroute with the
+// maze router. Produces the congestion map consumed by feature extraction
+// and the DRC oracle (the role Olympus-SoC's signal GR plays in the paper).
+
+#include <cstdint>
+#include <vector>
+
+#include "netlist/design.hpp"
+#include "route/congestion.hpp"
+#include "route/net_route.hpp"
+
+namespace drcshap {
+
+struct GlobalRouterOptions {
+  RouteCostParams cost;
+  int max_ripup_iterations = 3;
+  /// History added to each overflowed resource per iteration, scaled by its
+  /// overflow amount.
+  double history_increment = 0.5;
+  /// Cap on segments re-routed per iteration (keeps worst-case time bounded).
+  std::size_t max_reroutes_per_iteration = 50000;
+  bool use_maze = true;
+};
+
+struct GlobalRouteResult {
+  GridGraph graph;            ///< final loads/capacities
+  CongestionMap congestion;   ///< snapshot of `graph`
+  std::vector<NetRoute> routes;
+  long edge_overflow = 0;
+  long via_overflow = 0;
+  int iterations_run = 0;
+  std::size_t segments_total = 0;
+  std::size_t segments_rerouted = 0;
+};
+
+/// Routes all signal/clock nets of the placed design.
+GlobalRouteResult global_route(const Design& design,
+                               const GlobalRouterOptions& options = {});
+
+/// Decomposes a net's pin g-cells into MST 2-pin segments (pairs of distinct
+/// g-cell indices). Exposed for tests.
+std::vector<std::pair<std::size_t, std::size_t>> decompose_net(
+    const Design& design, NetId net);
+
+}  // namespace drcshap

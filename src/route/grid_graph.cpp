@@ -1,0 +1,186 @@
+#include "route/grid_graph.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace drcshap {
+
+GridGraph::GridGraph(const Design& design)
+    : nx_(design.grid().nx()),
+      ny_(design.grid().ny()),
+      num_metal_(design.tech().num_metal_layers),
+      grid_(design.grid()) {
+  edge_offset_.resize(static_cast<std::size_t>(num_metal_) + 1, 0);
+  for (int m = 0; m < num_metal_; ++m) {
+    const std::size_t count = Technology::is_horizontal(m)
+                                  ? (nx_ - 1) * ny_
+                                  : nx_ * (ny_ - 1);
+    edge_offset_[static_cast<std::size_t>(m) + 1] =
+        edge_offset_[static_cast<std::size_t>(m)] + count;
+  }
+  capacity_.assign(edge_offset_.back(), 0);
+  load_.assign(edge_offset_.back(), 0);
+  history_.assign(edge_offset_.back(), 0.0);
+
+  const std::size_t n_vias =
+      static_cast<std::size_t>(num_via_layers()) * num_cells();
+  via_capacity_.assign(n_vias, 0);
+  via_load_.assign(n_vias, 0);
+
+  apply_capacity_model(design);
+}
+
+std::optional<std::size_t> GridGraph::neighbor(std::size_t cell, Dir dir) const {
+  const std::size_t c = cell % nx_;
+  const std::size_t r = cell / nx_;
+  switch (dir) {
+    case Dir::kEast:  return c + 1 < nx_ ? std::optional(cell + 1) : std::nullopt;
+    case Dir::kWest:  return c > 0 ? std::optional(cell - 1) : std::nullopt;
+    case Dir::kNorth: return r + 1 < ny_ ? std::optional(cell + nx_) : std::nullopt;
+    case Dir::kSouth: return r > 0 ? std::optional(cell - nx_) : std::nullopt;
+  }
+  return std::nullopt;
+}
+
+std::optional<EdgeId> GridGraph::edge(int metal, std::size_t cell, Dir dir) const {
+  const bool horizontal = Technology::is_horizontal(metal);
+  if (horizontal && (dir == Dir::kNorth || dir == Dir::kSouth)) return std::nullopt;
+  if (!horizontal && (dir == Dir::kEast || dir == Dir::kWest)) return std::nullopt;
+  const auto nb = neighbor(cell, dir);
+  if (!nb) return std::nullopt;
+  const std::size_t low = std::min(cell, *nb);
+  const std::size_t c = low % nx_;
+  const std::size_t r = low / nx_;
+  const std::size_t within = horizontal ? r * (nx_ - 1) + c : r * nx_ + c;
+  return static_cast<EdgeId>(edge_offset_[static_cast<std::size_t>(metal)] + within);
+}
+
+std::optional<EdgeId> GridGraph::edge_low(int metal, std::size_t cell) const {
+  return edge(metal, cell,
+              Technology::is_horizontal(metal) ? Dir::kEast : Dir::kNorth);
+}
+
+void GridGraph::add_edge_load(EdgeId e, int delta) {
+  load_.at(e) += delta;
+  if (load_[e] < 0) throw std::logic_error("GridGraph: negative edge load");
+}
+
+int GridGraph::edge_metal(EdgeId e) const {
+  for (int m = 0; m < num_metal_; ++m) {
+    if (e < edge_offset_[static_cast<std::size_t>(m) + 1]) return m;
+  }
+  throw std::out_of_range("GridGraph::edge_metal");
+}
+
+std::pair<std::size_t, std::size_t> GridGraph::edge_cells(EdgeId e) const {
+  const int m = edge_metal(e);
+  const std::size_t within = e - edge_offset_[static_cast<std::size_t>(m)];
+  if (Technology::is_horizontal(m)) {
+    const std::size_t r = within / (nx_ - 1);
+    const std::size_t c = within % (nx_ - 1);
+    const std::size_t low = r * nx_ + c;
+    return {low, low + 1};
+  }
+  const std::size_t r = within / nx_;
+  const std::size_t c = within % nx_;
+  const std::size_t low = r * nx_ + c;
+  return {low, low + nx_};
+}
+
+void GridGraph::add_via_load(int via_layer, std::size_t cell, int delta) {
+  auto& v = via_load_.at(via_index(via_layer, cell));
+  v += delta;
+  if (v < 0) throw std::logic_error("GridGraph: negative via load");
+}
+
+long GridGraph::total_edge_overflow() const {
+  long total = 0;
+  for (std::size_t e = 0; e < capacity_.size(); ++e) {
+    total += std::max(0, load_[e] - capacity_[e]);
+  }
+  return total;
+}
+
+long GridGraph::total_via_overflow() const {
+  long total = 0;
+  for (std::size_t i = 0; i < via_capacity_.size(); ++i) {
+    total += std::max(0, via_load_[i] - via_capacity_[i]);
+  }
+  return total;
+}
+
+void GridGraph::reset_loads() {
+  std::fill(load_.begin(), load_.end(), 0);
+  std::fill(via_load_.begin(), via_load_.end(), 0);
+}
+
+std::size_t GridGraph::via_index(int via_layer, std::size_t cell) const {
+  if (via_layer < 0 || via_layer >= num_via_layers() || cell >= num_cells()) {
+    throw std::out_of_range("GridGraph::via_index");
+  }
+  return static_cast<std::size_t>(via_layer) * num_cells() + cell;
+}
+
+void GridGraph::apply_capacity_model(const Design& design) {
+  const Technology& tech = design.tech();
+  const GCellGrid& grid = design.grid();
+
+  // Per-cell, per-metal blocked-area fraction, and per-cell std-cell density.
+  std::vector<double> blocked(
+      static_cast<std::size_t>(num_metal_) * num_cells(), 0.0);
+  for (const Blockage& b : design.blockages()) {
+    for (const std::size_t cell : grid.cells_overlapping(b.box)) {
+      const double frac =
+          b.box.intersection_area(grid.cell_rect(cell)) / grid.cell_rect(cell).area();
+      for (int m = std::max(0, b.metal_lo);
+           m <= std::min(num_metal_ - 1, b.metal_hi); ++m) {
+        auto& v = blocked[static_cast<std::size_t>(m) * num_cells() + cell];
+        v = std::min(1.0, v + frac);
+      }
+    }
+  }
+  std::vector<double> cell_density(num_cells(), 0.0);
+  for (const Cell& c : design.cells()) {
+    for (const std::size_t cell : grid.cells_overlapping(c.box)) {
+      cell_density[cell] +=
+          c.box.intersection_area(grid.cell_rect(cell)) / grid.cell_rect(cell).area();
+    }
+  }
+  for (auto& d : cell_density) d = std::min(1.0, d);
+
+  // Metal edge capacities: tracks derated by the mean blocked fraction of the
+  // two adjacent cells; M1/M2 additionally derated by std-cell density
+  // (pin shapes and cell-internal routing consume lower-layer tracks).
+  for (int m = 0; m < num_metal_; ++m) {
+    const int tracks = tech.tracks_per_gcell[static_cast<std::size_t>(m)];
+    for (std::size_t cell = 0; cell < num_cells(); ++cell) {
+      const auto e = edge_low(m, cell);
+      if (!e) continue;
+      const auto [a, b] = edge_cells(*e);
+      const double blk =
+          0.5 * (blocked[static_cast<std::size_t>(m) * num_cells() + a] +
+                 blocked[static_cast<std::size_t>(m) * num_cells() + b]);
+      double cap = tracks * (1.0 - blk);
+      if (m <= 1) {
+        const double dens = 0.5 * (cell_density[a] + cell_density[b]);
+        cap *= 1.0 - 0.5 * dens;
+      }
+      capacity_[*e] = std::max(0, static_cast<int>(std::floor(cap + 0.5)));
+    }
+  }
+
+  // Via capacities: derated when either adjacent metal layer is blocked.
+  for (int v = 0; v < num_via_layers(); ++v) {
+    const int base = tech.vias_per_gcell[static_cast<std::size_t>(v)];
+    for (std::size_t cell = 0; cell < num_cells(); ++cell) {
+      const double blk = std::max(
+          blocked[static_cast<std::size_t>(v) * num_cells() + cell],
+          blocked[static_cast<std::size_t>(v + 1) * num_cells() + cell]);
+      via_capacity_[via_index(v, cell)] =
+          std::max(0, static_cast<int>(std::floor(base * (1.0 - blk) + 0.5)));
+    }
+  }
+}
+
+}  // namespace drcshap

@@ -1,0 +1,107 @@
+#pragma once
+// 3D global-routing grid graph.
+//
+// Nodes are (metal layer, g-cell). Each metal layer routes only in its
+// preferred direction (even layers horizontal, odd vertical), so a layer
+// contributes edges only between g-cells adjacent along that direction.
+// Adjacent layers are connected by via edges located at each g-cell.
+//
+// The graph tracks, per metal edge and per (via layer, g-cell):
+//   capacity  C  - max wires/vias, derated by blockages and cell density,
+//   load      L  - wires/vias currently routed through,
+//   history   h  - PathFinder-style accumulated congestion cost.
+// The (C, L, C-L) triples are exactly what the paper's congestion-map
+// features consume.
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "netlist/design.hpp"
+
+namespace drcshap {
+
+using EdgeId = std::uint32_t;
+
+/// Direction of a step within a metal layer.
+enum class Dir : std::uint8_t { kEast, kWest, kNorth, kSouth };
+
+class GridGraph {
+ public:
+  /// Builds the graph for `design` and applies the capacity model
+  /// (blockage + density deration). Loads start at zero.
+  explicit GridGraph(const Design& design);
+
+  std::size_t nx() const { return nx_; }
+  std::size_t ny() const { return ny_; }
+  int num_metal_layers() const { return num_metal_; }
+  int num_via_layers() const { return num_metal_ - 1; }
+  std::size_t num_cells() const { return nx_ * ny_; }
+  std::size_t num_edges() const { return capacity_.size(); }
+
+  // --- metal edges ------------------------------------------------------
+  /// Edge on layer `metal` between `cell` and its neighbor in direction
+  /// `dir`; nullopt if the step leaves the grid or fights the layer's
+  /// preferred direction.
+  std::optional<EdgeId> edge(int metal, std::size_t cell, Dir dir) const;
+
+  /// Edge on layer `metal` whose low-side cell (west / south) is `cell`.
+  /// For a horizontal layer this is the edge to the east neighbor; for a
+  /// vertical layer, to the north neighbor. nullopt at the grid border.
+  std::optional<EdgeId> edge_low(int metal, std::size_t cell) const;
+
+  int edge_capacity(EdgeId e) const { return capacity_[e]; }
+  int edge_load(EdgeId e) const { return load_[e]; }
+  double edge_history(EdgeId e) const { return history_[e]; }
+  int edge_overflow(EdgeId e) const { return std::max(0, load_[e] - capacity_[e]); }
+
+  void add_edge_load(EdgeId e, int delta);
+  void add_edge_history(EdgeId e, double delta) { history_[e] += delta; }
+
+  /// Metal layer an edge belongs to.
+  int edge_metal(EdgeId e) const;
+  /// The two adjacent cells of an edge (low cell first).
+  std::pair<std::size_t, std::size_t> edge_cells(EdgeId e) const;
+
+  // --- vias ---------------------------------------------------------------
+  int via_capacity(int via_layer, std::size_t cell) const {
+    return via_capacity_[via_index(via_layer, cell)];
+  }
+  int via_load(int via_layer, std::size_t cell) const {
+    return via_load_[via_index(via_layer, cell)];
+  }
+  int via_overflow(int via_layer, std::size_t cell) const {
+    const std::size_t i = via_index(via_layer, cell);
+    return std::max(0, via_load_[i] - via_capacity_[i]);
+  }
+  void add_via_load(int via_layer, std::size_t cell, int delta);
+
+  // --- aggregates ---------------------------------------------------------
+  /// Total wire overflow over all metal edges.
+  long total_edge_overflow() const;
+  /// Total via overflow over all (via layer, cell) pairs.
+  long total_via_overflow() const;
+
+  /// Clears every load (capacities and history are kept).
+  void reset_loads();
+
+  /// Neighbor cell of `cell` in `dir`, or nullopt at the border.
+  std::optional<std::size_t> neighbor(std::size_t cell, Dir dir) const;
+
+ private:
+  std::size_t via_index(int via_layer, std::size_t cell) const;
+  void apply_capacity_model(const Design& design);
+
+  std::size_t nx_;
+  std::size_t ny_;
+  int num_metal_;
+  GCellGrid grid_;
+  std::vector<std::size_t> edge_offset_;  ///< per metal layer
+  std::vector<int> capacity_;
+  std::vector<int> load_;
+  std::vector<double> history_;
+  std::vector<int> via_capacity_;
+  std::vector<int> via_load_;
+};
+
+}  // namespace drcshap

@@ -1,0 +1,113 @@
+#include "route/maze_router.hpp"
+
+#include <cmath>
+#include <limits>
+#include <queue>
+#include <stdexcept>
+
+namespace drcshap {
+
+namespace {
+constexpr std::uint32_t kNoParent = 0xffffffffu;
+}
+
+MazeRouter::MazeRouter(const GridGraph& graph) : g_(graph) {
+  const std::size_t n =
+      static_cast<std::size_t>(g_.num_metal_layers()) * g_.num_cells();
+  dist_.assign(n, 0.0);
+  stamp_.assign(n, 0);
+  parent_.assign(n, kNoParent);
+}
+
+MazeResult MazeRouter::route(std::size_t cell_a, std::size_t cell_b,
+                             const RouteCostParams& params) {
+  MazeResult result;
+  if (cell_a == cell_b) {
+    result.found = true;
+    return result;
+  }
+  ++current_stamp_;
+  const std::size_t nx = g_.nx();
+
+  // Admissible heuristic: remaining Manhattan distance in cells times the
+  // minimum per-edge cost (base), ignoring vias.
+  const std::size_t cb = cell_b % nx, rb = cell_b / nx;
+  auto heuristic = [&](std::size_t cell) {
+    const std::size_t c = cell % nx, r = cell / nx;
+    const double dx = c > cb ? static_cast<double>(c - cb) : static_cast<double>(cb - c);
+    const double dy = r > rb ? static_cast<double>(r - rb) : static_cast<double>(rb - r);
+    return params.base * (dx + dy);
+  };
+
+  using QItem = std::pair<double, std::size_t>;  // (f = g + h, node)
+  std::priority_queue<QItem, std::vector<QItem>, std::greater<>> open;
+
+  auto relax = [&](std::size_t node, double g_cost, std::size_t parent) {
+    if (stamp_[node] == current_stamp_ && dist_[node] <= g_cost) return;
+    stamp_[node] = current_stamp_;
+    dist_[node] = g_cost;
+    parent_[node] = static_cast<std::uint32_t>(parent);
+    open.emplace(g_cost + heuristic(node % g_.num_cells()), node);
+  };
+
+  const std::size_t start = node_id(0, cell_a);
+  const std::size_t goal = node_id(0, cell_b);
+  relax(start, 0.0, kNoParent);
+
+  while (!open.empty()) {
+    const auto [f, node] = open.top();
+    open.pop();
+    const double g_cost = dist_[node];
+    if (stamp_[node] != current_stamp_ || f > g_cost + heuristic(node % g_.num_cells()) + 1e-12) {
+      continue;  // stale queue entry
+    }
+    if (node == goal) break;
+    const int metal = static_cast<int>(node / g_.num_cells());
+    const std::size_t cell = node % g_.num_cells();
+
+    // In-layer moves along the preferred direction.
+    for (const Dir dir : {Dir::kEast, Dir::kWest, Dir::kNorth, Dir::kSouth}) {
+      const auto e = g_.edge(metal, cell, dir);
+      if (!e) continue;
+      const auto nb = g_.neighbor(cell, dir);
+      relax(node_id(metal, *nb), g_cost + edge_route_cost(g_, *e, params), node);
+    }
+    // Layer changes.
+    if (metal + 1 < g_.num_metal_layers()) {
+      relax(node_id(metal + 1, cell),
+            g_cost + via_route_cost(g_, metal, cell, params), node);
+    }
+    if (metal > 0) {
+      relax(node_id(metal - 1, cell),
+            g_cost + via_route_cost(g_, metal - 1, cell, params), node);
+    }
+  }
+
+  if (stamp_[goal] != current_stamp_) return result;  // unreachable
+
+  // Reconstruct path from the parent chain.
+  result.found = true;
+  result.cost = dist_[goal];
+  std::size_t node = goal;
+  while (parent_[node] != kNoParent) {
+    const std::size_t prev = parent_[node];
+    const int m_now = static_cast<int>(node / g_.num_cells());
+    const int m_prev = static_cast<int>(prev / g_.num_cells());
+    const std::size_t c_now = node % g_.num_cells();
+    const std::size_t c_prev = prev % g_.num_cells();
+    if (m_now == m_prev) {
+      // In-layer step: find the shared edge.
+      const std::size_t lo = std::min(c_now, c_prev);
+      const bool horizontal = (std::max(c_now, c_prev) == lo + 1);
+      const auto e = g_.edge(m_now, lo, horizontal ? Dir::kEast : Dir::kNorth);
+      if (!e) throw std::logic_error("MazeRouter: broken parent chain");
+      result.path.edges.push_back(*e);
+    } else {
+      result.path.vias.emplace_back(std::min(m_now, m_prev), c_now);
+    }
+    node = prev;
+  }
+  return result;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,45 @@
+#pragma once
+// Congestion-aware A* maze router over the 3D grid graph.
+//
+// Used during negotiated-congestion rip-up-and-reroute: segments that ended
+// up on overflowed resources are re-routed here with the full cost model
+// (history + overflow penalties), which lets them detour in x, y, and layer.
+// Paths start and terminate on M1 at the endpoint g-cells (pin access).
+
+#include <cstdint>
+#include <vector>
+
+#include "route/net_route.hpp"
+
+namespace drcshap {
+
+struct MazeResult {
+  RoutePath path;
+  double cost = 0.0;
+  bool found = false;
+};
+
+class MazeRouter {
+ public:
+  explicit MazeRouter(const GridGraph& graph);
+
+  /// Cheapest path between the two g-cells under `params`. The graph state
+  /// is read, never written (commit separately). Returns found == false only
+  /// if the grid is degenerate (should not happen on a connected grid).
+  MazeResult route(std::size_t cell_a, std::size_t cell_b,
+                   const RouteCostParams& params);
+
+ private:
+  std::size_t node_id(int metal, std::size_t cell) const {
+    return static_cast<std::size_t>(metal) * g_.num_cells() + cell;
+  }
+
+  const GridGraph& g_;
+  // Per-node search state, stamped so buffers need no clearing per call.
+  std::vector<double> dist_;
+  std::vector<std::uint32_t> stamp_;
+  std::vector<std::uint32_t> parent_;
+  std::uint32_t current_stamp_ = 0;
+};
+
+}  // namespace drcshap

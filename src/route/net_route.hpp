@@ -1,0 +1,82 @@
+#pragma once
+// Route representation shared by the pattern and maze routers.
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "route/grid_graph.hpp"
+
+namespace drcshap {
+
+/// One routed 2-pin connection: the metal edges it occupies plus the
+/// (via layer, g-cell) pairs it consumes (layer changes and pin access).
+struct RoutePath {
+  std::vector<EdgeId> edges;
+  std::vector<std::pair<int, std::size_t>> vias;
+
+  bool empty() const { return edges.empty() && vias.empty(); }
+};
+
+/// All 2-pin segment routes of one net.
+struct NetRoute {
+  NetId net = kInvalidId;
+  std::vector<RoutePath> segments;
+};
+
+/// Add the path's demand to the graph.
+inline void commit(GridGraph& g, const RoutePath& path) {
+  for (const EdgeId e : path.edges) g.add_edge_load(e, 1);
+  for (const auto& [layer, cell] : path.vias) g.add_via_load(layer, cell, 1);
+}
+
+/// Remove the path's demand from the graph.
+inline void uncommit(GridGraph& g, const RoutePath& path) {
+  for (const EdgeId e : path.edges) g.add_edge_load(e, -1);
+  for (const auto& [layer, cell] : path.vias) g.add_via_load(layer, cell, -1);
+}
+
+/// Congestion-aware cost model used by both routers (PathFinder-flavored:
+/// a base wire cost, a soft utilization slope, a hard overflow penalty
+/// scaled by accumulated history).
+struct RouteCostParams {
+  double base = 1.0;             ///< cost per grid edge
+  double via = 2.0;              ///< cost per via
+  double util_slope = 0.5;       ///< soft pressure as an edge fills up
+  double overflow_penalty = 16.0;///< per unit of (load+1) - capacity
+  double history_weight = 2.0;   ///< multiplier on accumulated history
+};
+
+/// Cost of pushing one more wire through metal edge `e`.
+inline double edge_route_cost(const GridGraph& g, EdgeId e,
+                              const RouteCostParams& p) {
+  const int cap = g.edge_capacity(e);
+  const int next = g.edge_load(e) + 1;
+  double cost = p.base + p.history_weight * g.edge_history(e);
+  if (cap <= 0) {
+    cost += p.overflow_penalty * next;
+  } else if (next > cap) {
+    cost += p.overflow_penalty * static_cast<double>(next - cap);
+  } else {
+    cost += p.util_slope * static_cast<double>(next) / static_cast<double>(cap);
+  }
+  return cost;
+}
+
+/// Cost of pushing one more via through (via layer, cell).
+inline double via_route_cost(const GridGraph& g, int via_layer,
+                             std::size_t cell, const RouteCostParams& p) {
+  const int cap = g.via_capacity(via_layer, cell);
+  const int next = g.via_load(via_layer, cell) + 1;
+  double cost = p.via;
+  if (cap <= 0) {
+    cost += p.overflow_penalty * next;
+  } else if (next > cap) {
+    cost += p.overflow_penalty * static_cast<double>(next - cap);
+  } else {
+    cost += p.util_slope * static_cast<double>(next) / static_cast<double>(cap);
+  }
+  return cost;
+}
+
+}  // namespace drcshap

@@ -1,0 +1,37 @@
+#pragma once
+// Minimal CSV reading/writing with RFC-4180 quoting. Used to persist feature
+// matrices and benchmark series so results can be post-processed externally.
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace drcshap {
+
+class CsvWriter {
+ public:
+  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  explicit CsvWriter(const std::string& path);
+  ~CsvWriter();
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  void write_row(const std::vector<std::string>& cells);
+  void write_row_doubles(const std::vector<double>& values);
+
+ private:
+  struct Impl;
+  Impl* impl_;
+};
+
+/// Quote a cell if it contains a comma, quote, or newline.
+std::string csv_escape(const std::string& cell);
+
+/// Parse one CSV line into cells (handles quoted cells with embedded commas).
+std::vector<std::string> csv_parse_line(const std::string& line);
+
+/// Read a whole CSV file into rows of cells.
+std::vector<std::vector<std::string>> csv_read_file(const std::string& path);
+
+}  // namespace drcshap

@@ -1,0 +1,84 @@
+#pragma once
+// Deterministic, seedable random number generation.
+//
+// Every stochastic component in this repository (benchmark-design synthesis,
+// placement, bootstrap sampling, feature subspace selection, SMO shuffling,
+// NN initialization, ...) draws from an explicitly seeded Rng so that the
+// whole pipeline is reproducible run-to-run and platform-to-platform.
+// xoshiro256** is used instead of std::mt19937 because its output sequence is
+// fully specified (libstdc++'s distributions are not), small and fast.
+
+#include <array>
+#include <cstdint>
+#include <limits>
+#include <span>
+#include <stdexcept>
+#include <vector>
+
+namespace drcshap {
+
+/// splitmix64 step; used to expand a single 64-bit seed into a full state.
+std::uint64_t splitmix64_next(std::uint64_t& state);
+
+/// xoshiro256** generator with explicit, portable distributions.
+class Rng {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  /// Raw 64-bit draw.
+  result_type operator()();
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  std::int64_t uniform_int(std::int64_t lo, std::int64_t hi);
+
+  /// Uniform index in [0, n). Requires n > 0.
+  std::size_t index(std::size_t n);
+
+  /// Uniform double in [0, 1).
+  double uniform();
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi);
+
+  /// Standard normal via Box-Muller (portable across standard libraries).
+  double normal();
+
+  /// Normal with given mean / standard deviation.
+  double normal(double mean, double stddev);
+
+  /// Bernoulli draw with success probability p (clamped to [0,1]).
+  bool bernoulli(double p);
+
+  /// Poisson draw (Knuth for small lambda, normal approximation for large).
+  std::uint64_t poisson(double lambda);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void shuffle(std::vector<T>& v) {
+    for (std::size_t i = v.size(); i > 1; --i) {
+      std::swap(v[i - 1], v[index(i)]);
+    }
+  }
+
+  /// Sample k distinct indices from [0, n) without replacement.
+  std::vector<std::size_t> sample_without_replacement(std::size_t n,
+                                                      std::size_t k);
+
+  /// Sample n indices from [0, n) with replacement (bootstrap).
+  std::vector<std::size_t> bootstrap_indices(std::size_t n);
+
+  /// Derive an independent child generator (for per-tree / per-design seeds).
+  Rng fork();
+
+ private:
+  std::array<std::uint64_t, 4> state_;
+};
+
+}  // namespace drcshap

@@ -1,0 +1,25 @@
+#pragma once
+// Wall-clock stopwatch for the CPU-time rows of Table II and bench logging.
+
+#include <chrono>
+
+namespace drcshap {
+
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+  double minutes() const { return seconds() / 60.0; }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+}  // namespace drcshap

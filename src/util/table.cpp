@@ -1,0 +1,82 @@
+#include "util/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace drcshap {
+
+Table::Table(std::vector<std::string> header) : header_(std::move(header)) {
+  if (header_.empty()) throw std::invalid_argument("Table: empty header");
+}
+
+void Table::add_row(std::vector<std::string> row) {
+  if (row.size() != header_.size()) {
+    throw std::invalid_argument("Table: row arity mismatch");
+  }
+  rows_.push_back(std::move(row));
+  is_separator_.push_back(false);
+}
+
+void Table::add_separator() {
+  rows_.emplace_back();
+  is_separator_.push_back(true);
+}
+
+std::string Table::to_string() const {
+  std::vector<std::size_t> width(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) width[c] = header_[c].size();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    if (is_separator_[r]) continue;
+    for (std::size_t c = 0; c < header_.size(); ++c) {
+      width[c] = std::max(width[c], rows_[r][c].size());
+    }
+  }
+
+  auto render_rule = [&] {
+    std::string out = "+";
+    for (const auto w : width) {
+      out += std::string(w + 2, '-');
+      out += '+';
+    }
+    out += '\n';
+    return out;
+  };
+  auto render_row = [&](const std::vector<std::string>& cells) {
+    std::string out = "|";
+    for (std::size_t c = 0; c < cells.size(); ++c) {
+      out += ' ';
+      out += cells[c];
+      out += std::string(width[c] - cells[c].size() + 1, ' ');
+      out += '|';
+    }
+    out += '\n';
+    return out;
+  };
+
+  std::string out = render_rule();
+  out += render_row(header_);
+  out += render_rule();
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    out += is_separator_[r] ? render_rule() : render_row(rows_[r]);
+  }
+  out += render_rule();
+  return out;
+}
+
+std::string fmt_fixed(double value, int decimals) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(decimals) << value;
+  return os.str();
+}
+
+std::string fmt_kilo(double value, int decimals) {
+  return fmt_fixed(value / 1000.0, decimals) + "k";
+}
+
+std::string fmt_percent(double fraction, int decimals) {
+  return fmt_fixed(fraction * 100.0, decimals) + "%";
+}
+
+}  // namespace drcshap

@@ -1,0 +1,42 @@
+#pragma once
+// Fixed-width ASCII table rendering for the bench binaries that regenerate the
+// paper's tables (Table I, Table II). Columns auto-size to content; numeric
+// formatting helpers match the paper's 4-decimal style.
+
+#include <string>
+#include <vector>
+
+namespace drcshap {
+
+class Table {
+ public:
+  explicit Table(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Append a horizontal separator line.
+  void add_separator();
+
+  /// Render the whole table, including header, as a string.
+  std::string to_string() const;
+
+  std::size_t n_rows() const { return rows_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  // A row with exactly one empty cell marked separator_ is rendered as a rule.
+  std::vector<std::vector<std::string>> rows_;
+  std::vector<bool> is_separator_;
+};
+
+/// Format with fixed decimals (paper tables use 4).
+std::string fmt_fixed(double value, int decimals = 4);
+
+/// Format like "1252.2k" (Table II parameter-count rows).
+std::string fmt_kilo(double value, int decimals = 1);
+
+/// Format a percentage, e.g. 0.506 -> "50.6%".
+std::string fmt_percent(double fraction, int decimals = 1);
+
+}  // namespace drcshap

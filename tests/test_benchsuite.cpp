@@ -1,0 +1,156 @@
+#include "benchsuite/suite.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "benchsuite/design_generator.hpp"
+#include "benchsuite/pipeline.hpp"
+
+namespace drcshap {
+namespace {
+
+TEST(Suite, FourteenDesignsInFiveGroups) {
+  const auto& suite = ispd2015_suite();
+  EXPECT_EQ(suite.size(), 14u);
+  std::set<int> groups;
+  std::set<std::string> names;
+  for (const BenchmarkSpec& spec : suite) {
+    groups.insert(spec.table_group);
+    names.insert(spec.name);
+  }
+  EXPECT_EQ(groups, (std::set<int>{1, 2, 3, 4, 5}));
+  EXPECT_EQ(names.size(), 14u);  // unique names
+  EXPECT_EQ(suite_groups(), (std::vector<int>{1, 2, 3, 4, 5}));
+}
+
+TEST(Suite, TableOneInventoryMatches) {
+  // Spot-check against the paper's Table I.
+  const BenchmarkSpec& des_perf_1 = suite_spec("des_perf_1");
+  EXPECT_EQ(des_perf_1.gcells_x * des_perf_1.gcells_y, 5476u);  // 74^2
+  EXPECT_EQ(des_perf_1.n_macros, 0);
+  EXPECT_DOUBLE_EQ(des_perf_1.die_microns, 445.0);
+  EXPECT_EQ(des_perf_1.table_group, 4);
+
+  const BenchmarkSpec& mult_b = suite_spec("mult_b");
+  EXPECT_EQ(mult_b.n_macros, 7);
+  EXPECT_DOUBLE_EQ(mult_b.cells_thousands, 146.4);
+  // 156*155 = 24180 vs paper 24257: within 1%.
+  EXPECT_NEAR(static_cast<double>(mult_b.gcells_x * mult_b.gcells_y), 24257.0,
+              24257.0 * 0.01);
+
+  EXPECT_TRUE(suite_spec("des_perf_b").expect_zero_hotspots);
+  EXPECT_TRUE(suite_spec("bridge32_b").expect_zero_hotspots);
+  EXPECT_THROW(suite_spec("nonexistent"), std::out_of_range);
+}
+
+TEST(Generator, ScalePreservesDensityCharacter) {
+  const BenchmarkSpec& spec = suite_spec("fft_2");
+  GeneratorOptions full, quarter;
+  quarter.scale = 4.0;
+  const NetlistSpec a = generate_netlist(spec, full);
+  const NetlistSpec b = generate_netlist(spec, quarter);
+  EXPECT_NEAR(static_cast<double>(a.cells.size()) / b.cells.size(), 4.0, 0.5);
+  EXPECT_NEAR(a.die.width() / b.die.width(), 2.0, 0.05);
+  // Utilization (cell area / die area) roughly preserved.
+  auto util = [](const NetlistSpec& s) {
+    double area = 0.0;
+    for (const CellSpec& c : s.cells) area += c.width * c.height;
+    return area / s.die.area();
+  };
+  EXPECT_NEAR(util(a), util(b), 0.1);
+}
+
+TEST(Generator, MacroCountAndNoOverlap) {
+  const BenchmarkSpec& spec = suite_spec("fft_b");  // 6 macros
+  GeneratorOptions options;
+  options.scale = 4.0;
+  const NetlistSpec netlist = generate_netlist(spec, options);
+  EXPECT_EQ(netlist.macros.size(), 6u);
+  for (std::size_t i = 0; i < netlist.macros.size(); ++i) {
+    for (std::size_t j = i + 1; j < netlist.macros.size(); ++j) {
+      EXPECT_FALSE(netlist.macros[i].box.overlaps(netlist.macros[j].box));
+    }
+  }
+}
+
+TEST(Generator, NetsReferenceValidCellsAndHaveClockNdr) {
+  GeneratorOptions options;
+  options.scale = 8.0;
+  const NetlistSpec netlist = generate_netlist(suite_spec("fft_1"), options);
+  std::size_t clock = 0, ndr = 0;
+  for (const NetSpec& net : netlist.nets) {
+    EXPECT_GE(net.cells.size(), 2u);
+    for (const std::uint32_t c : net.cells) {
+      EXPECT_LT(c, netlist.cells.size());
+    }
+    clock += net.is_clock;
+    ndr += net.has_ndr;
+  }
+  EXPECT_GT(clock, 0u);
+  EXPECT_GT(ndr, 0u);
+}
+
+TEST(Generator, DeterministicForSpec) {
+  GeneratorOptions options;
+  options.scale = 8.0;
+  const NetlistSpec a = generate_netlist(suite_spec("fft_1"), options);
+  const NetlistSpec b = generate_netlist(suite_spec("fft_1"), options);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  ASSERT_EQ(a.nets.size(), b.nets.size());
+  for (std::size_t i = 0; i < a.nets.size(); ++i) {
+    EXPECT_EQ(a.nets[i].cells, b.nets[i].cells);
+  }
+}
+
+TEST(Generator, RejectsUpscaling) {
+  EXPECT_THROW(generate_netlist(suite_spec("fft_1"), {.scale = 0.5}),
+               std::invalid_argument);
+}
+
+TEST(Pipeline, EndToEndSmallDesign) {
+  PipelineOptions options;
+  options.generator.scale = 16.0;
+  const DesignRun run = run_pipeline(suite_spec("fft_1"), options);
+  EXPECT_EQ(run.samples.n_rows(), run.design.grid().size());
+  EXPECT_EQ(run.samples.n_features(), 387u);
+  EXPECT_EQ(run.samples.n_positives(), run.drc.n_hotspots);
+  // Some congestion must exist.
+  long total_load = 0;
+  for (int m = 0; m < 5; ++m) {
+    for (std::size_t cell = 0; cell + 1 < run.design.grid().size(); ++cell) {
+      total_load += run.congestion.edge_load(m, cell, cell + 1);
+    }
+  }
+  EXPECT_GT(total_load, 0);
+}
+
+TEST(Pipeline, GroupIdPropagates) {
+  PipelineOptions options;
+  options.generator.scale = 16.0;
+  const DesignRun run = run_pipeline(suite_spec("fft_1"), options, 42);
+  for (std::size_t i = 0; i < std::min<std::size_t>(run.samples.n_rows(), 10);
+       ++i) {
+    EXPECT_EQ(run.samples.group(i), 42);
+  }
+  const DesignRun by_table = run_pipeline(suite_spec("fft_1"), options);
+  EXPECT_EQ(by_table.samples.group(0), suite_spec("fft_1").table_group);
+}
+
+TEST(Pipeline, BuildSuiteDatasetConcatenatesWithDesignGroups) {
+  PipelineOptions options;
+  options.generator.scale = 16.0;
+  std::vector<BenchmarkSpec> two = {suite_spec("fft_1"), suite_spec("fft_2")};
+  std::size_t seen = 0;
+  const Dataset all = build_suite_dataset(
+      two, options, [&](const DesignRun& run) {
+        ++seen;
+        EXPECT_FALSE(run.spec.name.empty());
+      });
+  EXPECT_EQ(seen, 2u);
+  EXPECT_EQ(all.distinct_groups(), (std::vector<int>{0, 1}));
+  EXPECT_GT(all.n_rows(), 100u);
+}
+
+}  // namespace
+}  // namespace drcshap

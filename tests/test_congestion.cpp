@@ -1,0 +1,178 @@
+#include "route/congestion.hpp"
+
+#include <gtest/gtest.h>
+
+#include "drc/track_model.hpp"
+
+namespace drcshap {
+namespace {
+
+Design empty_design(std::size_t nx = 5, std::size_t ny = 4) {
+  return Design("cong", {0, 0, 10.0 * nx, 10.0 * ny}, nx, ny);
+}
+
+TEST(CongestionMap, ExtractMirrorsGraph) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  const EdgeId e = *g.edge(0, 0, Dir::kEast);
+  g.add_edge_load(e, 4);
+  g.add_via_load(1, 7, 9);
+  const CongestionMap map = CongestionMap::extract(g);
+  EXPECT_EQ(map.edge_load(0, 0, 1), 4);
+  EXPECT_EQ(map.edge_capacity(0, 0, 1), g.edge_capacity(e));
+  EXPECT_EQ(map.via_load(1, 7), 9);
+  EXPECT_EQ(map.via_capacity(1, 7), g.via_capacity(1, 7));
+}
+
+TEST(CongestionMap, HasEdgeDirectionality) {
+  const Design d = empty_design();
+  const CongestionMap map = CongestionMap::extract(GridGraph(d));
+  // Horizontal neighbors: only horizontal layers cross that border.
+  EXPECT_TRUE(map.has_edge(0, 0, 1));
+  EXPECT_FALSE(map.has_edge(1, 0, 1));
+  // Vertical neighbors: only vertical layers.
+  EXPECT_TRUE(map.has_edge(1, 0, 5));
+  EXPECT_FALSE(map.has_edge(0, 0, 5));
+  // Non-adjacent cells: nothing.
+  EXPECT_FALSE(map.has_edge(0, 0, 2));
+  // Row wrap is not adjacency: cell 4 (end of row 0) and 5 (start of row 1).
+  EXPECT_FALSE(map.has_edge(0, 4, 5));
+}
+
+TEST(CongestionMap, EdgeQueriesSymmetric) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  g.add_edge_load(*g.edge(2, 1, Dir::kEast), 3);
+  const CongestionMap map = CongestionMap::extract(g);
+  EXPECT_EQ(map.edge_load(2, 1, 2), map.edge_load(2, 2, 1));
+}
+
+TEST(CongestionMap, OverflowTotalsMatchGraph) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  const EdgeId e = *g.edge(4, 0, Dir::kEast);
+  g.add_edge_load(e, g.edge_capacity(e) + 7);
+  g.add_via_load(0, 3, g.via_capacity(0, 3) + 2);
+  const CongestionMap map = CongestionMap::extract(g);
+  EXPECT_EQ(map.total_edge_overflow(), g.total_edge_overflow());
+  EXPECT_EQ(map.total_via_overflow(), g.total_via_overflow());
+  EXPECT_EQ(map.total_edge_overflow(), 7L);
+  EXPECT_EQ(map.total_via_overflow(), 2L);
+}
+
+TEST(CongestionMap, CellUtilizationAndOverflow) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  const EdgeId e = *g.edge(0, 0, Dir::kEast);
+  g.add_edge_load(e, g.edge_capacity(e));  // exactly full
+  const CongestionMap map = CongestionMap::extract(g);
+  EXPECT_DOUBLE_EQ(map.cell_edge_utilization(0, 0), 1.0);
+  EXPECT_EQ(map.cell_edge_overflow(0, 0), 0);
+  GridGraph g2(d);
+  g2.add_edge_load(e, g2.edge_capacity(e) + 4);
+  const CongestionMap map2 = CongestionMap::extract(g2);
+  EXPECT_GT(map2.cell_edge_utilization(0, 0), 1.0);
+  EXPECT_EQ(map2.cell_edge_overflow(0, 0), 4);
+  EXPECT_EQ(map2.cell_edge_overflow(0, 1), 4);  // shared edge
+}
+
+TEST(CongestionMap, AsciiHeatmapShape) {
+  const Design d = empty_design(5, 4);
+  const CongestionMap map = CongestionMap::extract(GridGraph(d));
+  const std::string art = map.ascii_heatmap(0);
+  EXPECT_EQ(art.size(), (5u + 1u) * 4u);  // 5 chars + newline per row
+}
+
+// ------------------------------------------------------------- TrackModel
+
+TEST(TrackModel, DemandSupplyAverages) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  // Load both M1 edges around cell 1 with 6 wires each.
+  g.add_edge_load(*g.edge(0, 0, Dir::kEast), 6);
+  g.add_edge_load(*g.edge(0, 1, Dir::kEast), 6);
+  const CongestionMap map = CongestionMap::extract(g);
+  const TrackModel track(d, map);
+  EXPECT_DOUBLE_EQ(track.wire_demand(1, 0), 6.0);
+  EXPECT_DOUBLE_EQ(track.wire_supply(1, 0),
+                   d.tech().tracks_per_gcell[0]);
+  EXPECT_DOUBLE_EQ(track.overflow(1, 0), 0.0);
+}
+
+TEST(TrackModel, OverflowPositivePart) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  const EdgeId e = *g.edge(4, 0, Dir::kEast);
+  g.add_edge_load(e, g.edge_capacity(e) + 10);
+  const TrackModel track(d, CongestionMap::extract(g));
+  EXPECT_GT(track.overflow(0, 4), 0.0);
+  EXPECT_EQ(track.edge_overflow(0, 4), 10);
+  EXPECT_EQ(track.edge_overflow(1, 4), 10);
+  EXPECT_EQ(track.edge_overflow(2, 4), 0);
+}
+
+TEST(TrackModel, ViaPressure) {
+  const Design d = empty_design();
+  GridGraph g(d);
+  const int cap = g.via_capacity(2, 5);
+  g.add_via_load(2, 5, cap / 2);
+  const TrackModel track(d, CongestionMap::extract(g));
+  EXPECT_NEAR(track.via_pressure(5, 2),
+              static_cast<double>(cap / 2) / cap, 1e-12);
+}
+
+// ------------------------------------------------------- GCell aggregates
+
+TEST(GCellAggregates, CountsCellsPinsAndLocalNets) {
+  Design d = empty_design();  // 10um g-cells
+  d.add_cell({"inside", {1, 1, 3, 3}, false});
+  d.add_cell({"straddle", {8, 8, 12, 12}, false});  // spans 4 g-cells
+  const NetId local = d.add_net({"local", {}, false, false});
+  d.add_pin({0, local, {1.5, 1.5}, false, false});
+  d.add_pin({0, local, {2.5, 2.5}, false, false});
+  const NetId global_net = d.add_net({"global", {}, false, false});
+  d.add_pin({0, global_net, {2, 2}, true, false});    // clock pin
+  d.add_pin({kInvalidId, global_net, {35, 25}, false, true});  // NDR pin
+
+  const auto agg = compute_gcell_aggregates(d);
+  const std::size_t cell00 = d.grid().locate({5, 5});
+  EXPECT_EQ(agg[cell00].n_cells, 1);  // straddling cell not fully inside
+  EXPECT_EQ(agg[cell00].n_pins, 3);
+  EXPECT_EQ(agg[cell00].n_clock_pins, 1);
+  EXPECT_EQ(agg[cell00].n_local_nets, 1);
+  EXPECT_EQ(agg[cell00].n_local_net_pins, 2);
+  EXPECT_EQ(agg[cell00].n_ndr_pins, 0);
+  const std::size_t cell_ndr = d.grid().locate({35, 25});
+  EXPECT_EQ(agg[cell_ndr].n_ndr_pins, 1);
+}
+
+TEST(GCellAggregates, PinSpacingMeanPairwiseManhattan) {
+  Design d = empty_design();
+  const NetId n = d.add_net({"n", {}, false, false});
+  d.add_pin({kInvalidId, n, {1, 1}, false, false});
+  d.add_pin({kInvalidId, n, {4, 5}, false, false});
+  const auto agg = compute_gcell_aggregates(d);
+  const std::size_t cell = d.grid().locate({1, 1});
+  EXPECT_DOUBLE_EQ(agg[cell].pin_spacing, 7.0);
+}
+
+TEST(GCellAggregates, AreaFractions) {
+  Design d = empty_design();
+  d.add_cell({"half", {0, 0, 10, 5}, false});  // half of g-cell (0,0)
+  d.add_blockage({{0, 0, 5, 10}, 0, 3});       // half of g-cell (0,0)
+  const auto agg = compute_gcell_aggregates(d);
+  EXPECT_NEAR(agg[0].cell_area_frac, 0.5, 1e-9);
+  EXPECT_NEAR(agg[0].blockage_frac, 0.5, 1e-9);
+}
+
+TEST(GCellAggregates, MacroAdjacency) {
+  Design d = empty_design();
+  d.add_macro({"m", {10, 10, 30, 20}, 4});
+  const auto agg = compute_gcell_aggregates(d);
+  EXPECT_TRUE(agg[d.grid().locate({15, 15})].macro_adjacent);  // under macro
+  EXPECT_TRUE(agg[d.grid().locate({5, 15})].macro_adjacent);   // next to it
+  EXPECT_FALSE(agg[d.grid().locate({45, 35})].macro_adjacent); // far away
+}
+
+}  // namespace
+}  // namespace drcshap

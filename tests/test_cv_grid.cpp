@@ -1,0 +1,136 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+
+#include "ml/cross_validation.hpp"
+#include "ml/grid_search.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+/// Deterministic stub: score = w * x0. w > 0 ranks positives first on the
+/// synthetic data below; w < 0 inverts the ranking.
+class StubModel final : public BinaryClassifier {
+ public:
+  explicit StubModel(double w) : w_(w) {}
+  void fit(const Dataset& data) override { fitted_rows_ = data.n_rows(); }
+  double predict_proba(std::span<const float> x) const override {
+    return 1.0 / (1.0 + std::exp(-w_ * x[0]));
+  }
+  std::size_t n_parameters() const override { return 1; }
+  std::size_t prediction_ops() const override { return 2; }
+  std::string name() const override { return "stub"; }
+  std::size_t fitted_rows() const { return fitted_rows_; }
+
+ private:
+  double w_;
+  std::size_t fitted_rows_ = 0;
+};
+
+/// x0 correlates with the label; groups 0..3.
+Dataset grouped_data() {
+  Dataset d(2);
+  Rng rng(4242);
+  for (int g = 0; g < 4; ++g) {
+    for (int i = 0; i < 100; ++i) {
+      const int label = rng.bernoulli(0.2) ? 1 : 0;
+      const float x0 =
+          static_cast<float>(label * 2.0 + rng.normal(0.0, 0.7));
+      d.append_row(std::vector<float>{x0, static_cast<float>(g)}, label, g);
+    }
+  }
+  return d;
+}
+
+TEST(GroupedCv, GoodModelBeatsInvertedModel) {
+  const Dataset data = grouped_data();
+  const std::vector<int> groups{0, 1, 2, 3};
+  const auto good = grouped_cross_validate(
+      [] { return std::make_unique<StubModel>(+2.0); }, data, groups);
+  const auto bad = grouped_cross_validate(
+      [] { return std::make_unique<StubModel>(-2.0); }, data, groups);
+  EXPECT_GT(good.mean_auprc, bad.mean_auprc);
+  EXPECT_GT(good.mean_auprc, 0.5);
+  EXPECT_EQ(good.fold_auprc.size(), 4u);
+}
+
+TEST(GroupedCv, MeanIsAverageOfFolds) {
+  const Dataset data = grouped_data();
+  const std::vector<int> groups{0, 1, 2, 3};
+  const auto result = grouped_cross_validate(
+      [] { return std::make_unique<StubModel>(1.0); }, data, groups);
+  double mean = 0.0;
+  for (const double v : result.fold_auprc) mean += v;
+  mean /= static_cast<double>(result.fold_auprc.size());
+  EXPECT_NEAR(result.mean_auprc, mean, 1e-12);
+}
+
+TEST(GroupedCv, RequiresTwoGroups) {
+  const Dataset data = grouped_data();
+  EXPECT_THROW(grouped_cross_validate(
+                   [] { return std::make_unique<StubModel>(1.0); }, data,
+                   std::vector<int>{0}),
+               std::invalid_argument);
+}
+
+TEST(GroupedCv, SkipsOneClassFolds) {
+  // Group 9 has no positives: its fold is skipped, others still score.
+  Dataset data = grouped_data();
+  for (int i = 0; i < 50; ++i) {
+    data.append_row(std::vector<float>{0.0f, 9.0f}, 0, 9);
+  }
+  const std::vector<int> groups{0, 1, 9};
+  const auto result = grouped_cross_validate(
+      [] { return std::make_unique<StubModel>(1.0); }, data, groups);
+  EXPECT_EQ(result.fold_auprc.size(), 2u);
+}
+
+// ---------------------------------------------------------------- grid
+
+TEST(GridSearch, ExpandGridCartesianProduct) {
+  const auto grid = expand_grid({{"a", {1, 2, 3}}, {"b", {10, 20}}});
+  EXPECT_EQ(grid.size(), 6u);
+  // Every combination present exactly once.
+  std::set<std::pair<double, double>> seen;
+  for (const ParamSet& p : grid) {
+    seen.emplace(p.at("a"), p.at("b"));
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(GridSearch, EmptyGridYieldsSingleEmptyParamSet) {
+  const auto grid = expand_grid({});
+  ASSERT_EQ(grid.size(), 1u);
+  EXPECT_TRUE(grid.front().empty());
+}
+
+TEST(GridSearch, EmptyCandidateListThrows) {
+  EXPECT_THROW(expand_grid({{"a", {}}}), std::invalid_argument);
+}
+
+TEST(GridSearch, PicksBestParameter) {
+  const Dataset data = grouped_data();
+  const std::vector<int> groups{0, 1, 2, 3};
+  const auto result = grid_search(
+      [](const ParamSet& p) {
+        return std::make_unique<StubModel>(p.at("w"));
+      },
+      data, groups, {{"w", {-2.0, 0.5, 2.0}}});
+  // AUPRC only depends on the ranking, so both positive weights tie and the
+  // first in grid order wins; the inverted model must lose.
+  EXPECT_GT(result.best_params.at("w"), 0.0);
+  EXPECT_EQ(result.evaluations.size(), 3u);
+  for (const auto& [params, score] : result.evaluations) {
+    EXPECT_LE(score, result.best_score);
+  }
+}
+
+TEST(GridSearch, ToStringFormat) {
+  EXPECT_EQ(to_string(ParamSet{{"a", 1.5}, {"b", 2.0}}), "{a=1.5, b=2}");
+  EXPECT_EQ(to_string(ParamSet{}), "{}");
+}
+
+}  // namespace
+}  // namespace drcshap

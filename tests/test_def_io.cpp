@@ -1,0 +1,100 @@
+#include "netlist/def_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+namespace drcshap {
+namespace {
+
+Design build_rich_design() {
+  Design d("rich design", {0, 0, 50, 40}, 5, 4);
+  d.add_macro({"m0", {10, 10, 20, 20}, 4});
+  d.add_cell({"c0", {1, 1, 2.5, 3}, false});
+  d.add_cell({"c\"quoted\"", {5, 5, 6, 7}, true});
+  const NetId n0 = d.add_net({"n0", {}, true, false});
+  const NetId n1 = d.add_net({"n1", {}, false, true});
+  d.add_pin({0, n0, {1.5, 2.0}, false, false});
+  d.add_pin({1, n1, {5.5, 6.0}, false, false});
+  d.add_pin({kInvalidId, n1, {30.25, 35.75}, false, false});
+  d.add_blockage({{2, 2, 8, 8}, 1, 3});
+  return d;
+}
+
+TEST(DefIo, RoundTripPreservesEverything) {
+  const Design original = build_rich_design();
+  std::stringstream buffer;
+  write_def_lite(original, buffer);
+  const Design loaded = read_def_lite(buffer);
+
+  EXPECT_EQ(loaded.name(), original.name());
+  EXPECT_EQ(loaded.die(), original.die());
+  EXPECT_EQ(loaded.grid().nx(), original.grid().nx());
+  EXPECT_EQ(loaded.grid().ny(), original.grid().ny());
+  EXPECT_EQ(loaded.tech().num_metal_layers, original.tech().num_metal_layers);
+  EXPECT_EQ(loaded.tech().tracks_per_gcell, original.tech().tracks_per_gcell);
+
+  ASSERT_EQ(loaded.num_macros(), original.num_macros());
+  EXPECT_EQ(loaded.macro(0).box, original.macro(0).box);
+
+  ASSERT_EQ(loaded.num_cells(), original.num_cells());
+  EXPECT_EQ(loaded.cell(1).name, "c\"quoted\"");
+  EXPECT_TRUE(loaded.cell(1).is_multi_height);
+  EXPECT_EQ(loaded.cell(0).box, original.cell(0).box);
+
+  ASSERT_EQ(loaded.num_nets(), original.num_nets());
+  EXPECT_TRUE(loaded.net(0).is_clock);
+  EXPECT_TRUE(loaded.net(1).has_ndr);
+  EXPECT_EQ(loaded.net(1).pins.size(), 2u);
+
+  ASSERT_EQ(loaded.num_pins(), original.num_pins());
+  EXPECT_EQ(loaded.pin(2).cell, kInvalidId);
+  EXPECT_DOUBLE_EQ(loaded.pin(2).position.x, 30.25);
+  EXPECT_TRUE(loaded.pin(1).has_ndr);  // inherited from net
+
+  ASSERT_EQ(loaded.blockages().size(), original.blockages().size());
+  EXPECT_EQ(loaded.blockages()[0].metal_hi, 3);
+
+  EXPECT_NO_THROW(loaded.validate());
+}
+
+TEST(DefIo, RoundTripIsIdempotent) {
+  const Design original = build_rich_design();
+  std::stringstream first, second;
+  write_def_lite(original, first);
+  const std::string text = first.str();
+  std::stringstream parse(text);
+  write_def_lite(read_def_lite(parse), second);
+  EXPECT_EQ(text, second.str());
+}
+
+TEST(DefIo, RejectsGarbage) {
+  std::stringstream bad("NOT A DESIGN");
+  EXPECT_THROW(read_def_lite(bad), std::runtime_error);
+}
+
+TEST(DefIo, RejectsTruncated) {
+  const Design original = build_rich_design();
+  std::stringstream buffer;
+  write_def_lite(original, buffer);
+  std::string text = buffer.str();
+  text.resize(text.size() / 2);
+  std::stringstream truncated(text);
+  EXPECT_THROW(read_def_lite(truncated), std::runtime_error);
+}
+
+TEST(DefIo, FileRoundTrip) {
+  const Design original = build_rich_design();
+  const std::string path = "/tmp/drcshap_def_test.def";
+  write_def_lite_file(original, path);
+  const Design loaded = read_def_lite_file(path);
+  EXPECT_EQ(loaded.num_pins(), original.num_pins());
+  std::remove(path.c_str());
+}
+
+TEST(DefIo, MissingFileThrows) {
+  EXPECT_THROW(read_def_lite_file("/nope/missing.def"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,177 @@
+#include "drc/drc_oracle.hpp"
+
+#include <gtest/gtest.h>
+
+#include "features/labeler.hpp"
+
+namespace drcshap {
+namespace {
+
+Design calm_design(std::size_t nx = 8, std::size_t ny = 8) {
+  return Design("calm", {0, 0, 10.0 * nx, 10.0 * ny}, nx, ny);
+}
+
+/// A design + congestion snapshot with heavy overflow around one cell.
+struct HotInstance {
+  Design design;
+  CongestionMap congestion;
+};
+
+HotInstance hot_instance(int overflow_amount) {
+  Design d = calm_design();
+  GridGraph g(d);
+  const std::size_t hot_cell = d.grid().index(4, 4);
+  for (const int m : {3, 4}) {
+    for (const Dir dir : {Dir::kEast, Dir::kWest, Dir::kNorth, Dir::kSouth}) {
+      const auto e = g.edge(m, hot_cell, dir);
+      if (e) g.add_edge_load(*e, g.edge_capacity(*e) + overflow_amount);
+    }
+  }
+  return {std::move(d), CongestionMap::extract(g)};
+}
+
+TEST(DrcOracle, DeterministicForFixedSeed) {
+  const HotInstance hot = hot_instance(6);
+  const DrcReport a = run_drc_oracle(hot.design, hot.congestion);
+  const DrcReport b = run_drc_oracle(hot.design, hot.congestion);
+  ASSERT_EQ(a.violations.size(), b.violations.size());
+  EXPECT_EQ(a.hotspot, b.hotspot);
+  for (std::size_t i = 0; i < a.violations.size(); ++i) {
+    EXPECT_EQ(a.violations[i].box, b.violations[i].box);
+    EXPECT_EQ(a.violations[i].type, b.violations[i].type);
+  }
+}
+
+TEST(DrcOracle, SeedChangesOutcome) {
+  const HotInstance hot = hot_instance(6);
+  DrcOracleOptions o1, o2;
+  o2.seed = o1.seed + 1;
+  const DrcReport a = run_drc_oracle(hot.design, hot.congestion, o1);
+  const DrcReport b = run_drc_oracle(hot.design, hot.congestion, o2);
+  EXPECT_TRUE(a.violations.size() != b.violations.size() ||
+              a.hotspot != b.hotspot);
+}
+
+TEST(DrcOracle, CalmDesignHasFewViolations) {
+  const Design d = calm_design();
+  const CongestionMap cong = CongestionMap::extract(GridGraph(d));
+  const DrcReport report = run_drc_oracle(d, cong);
+  // bias -5.2 with zero difficulty: expected rate well under 2%.
+  EXPECT_LT(report.n_hotspots, d.grid().size() / 20);
+}
+
+TEST(DrcOracle, OverflowRaisesViolationDensity) {
+  const HotInstance hot = hot_instance(8);
+  DrcOracleOptions options;
+  options.noise_sigma = 0.2;  // sharpen the comparison
+  const DrcReport hot_report =
+      run_drc_oracle(hot.design, hot.congestion, options);
+  const Design calm = calm_design();
+  const DrcReport calm_report =
+      run_drc_oracle(calm, CongestionMap::extract(GridGraph(calm)), options);
+  // The overflowed neighborhood must light up more than the calm design
+  // overall (probability of failure would be astronomically small).
+  EXPECT_GT(hot_report.violations.size(), calm_report.violations.size());
+  const std::size_t hot_cell = hot.design.grid().index(4, 4);
+  EXPECT_TRUE(hot_report.hotspot[hot_cell]);
+}
+
+TEST(DrcOracle, DifficultyScoreMonotoneInOverflow) {
+  const DrcOracleOptions options;
+  const HotInstance a = hot_instance(2);
+  const HotInstance b = hot_instance(10);
+  const TrackModel track_a(a.design, a.congestion);
+  const TrackModel track_b(b.design, b.congestion);
+  const auto agg_a = compute_gcell_aggregates(a.design);
+  const auto agg_b = compute_gcell_aggregates(b.design);
+  const std::size_t hot_cell = a.design.grid().index(4, 4);
+  EXPECT_LT(drc_difficulty(a.design, track_a, agg_a, hot_cell, options),
+            drc_difficulty(b.design, track_b, agg_b, hot_cell, options));
+}
+
+TEST(DrcOracle, ViolationBoxesInsideDie) {
+  const HotInstance hot = hot_instance(10);
+  const DrcReport report = run_drc_oracle(hot.design, hot.congestion);
+  for (const DrcViolation& v : report.violations) {
+    EXPECT_TRUE(hot.design.die().contains(v.box)) << v.box;
+    EXPECT_FALSE(v.box.empty());
+    EXPECT_GE(v.metal_layer, 0);
+    EXPECT_LT(v.metal_layer, 5);
+  }
+}
+
+TEST(DrcOracle, HotspotFlagsMatchBoxOverlap) {
+  const HotInstance hot = hot_instance(10);
+  const DrcReport report = run_drc_oracle(hot.design, hot.congestion);
+  const auto labels = hotspot_labels(hot.design.grid(), report.violations);
+  EXPECT_EQ(labels, report.hotspot);
+  EXPECT_EQ(report.n_hotspots,
+            static_cast<std::size_t>(
+                std::count(labels.begin(), labels.end(), 1)));
+}
+
+TEST(DrcOracle, BiasControlsRate) {
+  const HotInstance hot = hot_instance(4);
+  DrcOracleOptions lenient, strict;
+  lenient.bias = -9.0;
+  strict.bias = -2.0;
+  const DrcReport few = run_drc_oracle(hot.design, hot.congestion, lenient);
+  const DrcReport many = run_drc_oracle(hot.design, hot.congestion, strict);
+  EXPECT_LT(few.n_hotspots, many.n_hotspots);
+}
+
+TEST(DrcOracle, ViaPressureProducesEolErrors) {
+  Design d = calm_design();
+  GridGraph g(d);
+  // Swamp V2 in a whole block of g-cells so at least one fires.
+  for (std::size_t col = 2; col <= 5; ++col) {
+    for (std::size_t row = 2; row <= 5; ++row) {
+      const std::size_t cell = d.grid().index(col, row);
+      g.add_via_load(1, cell, g.via_capacity(1, cell) * 2);
+    }
+  }
+  DrcOracleOptions options;
+  options.noise_sigma = 0.2;
+  options.bias = -1.0;
+  const DrcReport report =
+      run_drc_oracle(d, CongestionMap::extract(g), options);
+  bool eol_on_m2 = false;
+  for (const DrcViolation& v : report.violations) {
+    if (v.type == DrcErrorType::kEndOfLineSpacing && v.metal_layer == 2) {
+      eol_on_m2 = true;
+    }
+  }
+  EXPECT_TRUE(eol_on_m2)
+      << "V2 crowding should produce end-of-line errors on the metal above";
+}
+
+TEST(DrcOracle, ErrorTypeNames) {
+  EXPECT_EQ(to_string(DrcErrorType::kShort), "short");
+  EXPECT_EQ(to_string(DrcErrorType::kEndOfLineSpacing), "end-of-line-spacing");
+  EXPECT_EQ(to_string(DrcErrorType::kDifferentNetSpacing),
+            "different-net-spacing");
+  EXPECT_EQ(to_string(DrcErrorType::kViaEnclosure), "via-enclosure");
+}
+
+TEST(Labeler, ViolationsInGCell) {
+  const Design d = calm_design();
+  std::vector<DrcViolation> violations{
+      {DrcErrorType::kShort, 2, {12, 12, 14, 14}},
+      {DrcErrorType::kShort, 3, {55, 55, 57, 57}},
+  };
+  const auto in_cell =
+      violations_in_gcell(d.grid(), d.grid().locate({15, 15}), violations);
+  ASSERT_EQ(in_cell.size(), 1u);
+  EXPECT_EQ(in_cell.front().metal_layer, 2);
+}
+
+TEST(Labeler, StraddlingBoxMarksAllTouchedCells) {
+  const Design d = calm_design();
+  std::vector<DrcViolation> violations{
+      {DrcErrorType::kShort, 1, {8, 8, 12, 12}}};  // straddles 4 g-cells
+  const auto labels = hotspot_labels(d.grid(), violations);
+  EXPECT_EQ(std::count(labels.begin(), labels.end(), 1), 4);
+}
+
+}  // namespace
+}  // namespace drcshap

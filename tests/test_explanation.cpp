@@ -1,0 +1,83 @@
+#include "core/explanation.hpp"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+Explanation make_explanation() {
+  return Explanation(0.1, 0.6, {0.35, -0.05, 0.2, 0.0},
+                     {1.0f, 2.0f, 3.0f, 4.0f}, {"a", "b", "c", "d"});
+}
+
+TEST(Explanation, RankedByAbsoluteValue) {
+  const auto ranked = make_explanation().ranked();
+  ASSERT_EQ(ranked.size(), 4u);
+  EXPECT_EQ(ranked[0].feature_name, "a");
+  EXPECT_EQ(ranked[1].feature_name, "c");
+  EXPECT_EQ(ranked[2].feature_name, "b");
+  EXPECT_EQ(ranked[3].feature_name, "d");
+  EXPECT_DOUBLE_EQ(ranked[0].shap_value, 0.35);
+  EXPECT_DOUBLE_EQ(ranked[0].feature_value, 1.0);
+}
+
+TEST(Explanation, TopTruncates) {
+  EXPECT_EQ(make_explanation().top(2).size(), 2u);
+  EXPECT_EQ(make_explanation().top(10).size(), 4u);
+}
+
+TEST(Explanation, AdditivityGap) {
+  // base 0.1 + (0.35 - 0.05 + 0.2 + 0) = 0.6 = prediction -> gap 0.
+  EXPECT_NEAR(make_explanation().additivity_gap(), 0.0, 1e-12);
+  const Explanation off(0.1, 0.9, {0.1}, {1.0f}, {"a"});
+  EXPECT_NEAR(off.additivity_gap(), 0.7, 1e-12);
+}
+
+TEST(Explanation, TextRendersSignsAndNames) {
+  const std::string text = make_explanation().to_text(3);
+  EXPECT_NE(text.find("base value 0.1000"), std::string::npos);
+  EXPECT_NE(text.find("a=1.00"), std::string::npos);
+  EXPECT_NE(text.find("+ a"), std::string::npos);
+  EXPECT_NE(text.find("- b"), std::string::npos);
+  EXPECT_NE(text.find("#"), std::string::npos);
+}
+
+TEST(Explanation, DefaultNamesWhenMissing) {
+  const Explanation e(0.0, 0.5, {0.5, 0.0}, {1.0f, 2.0f}, {});
+  EXPECT_EQ(e.ranked()[0].feature_name, "f0");
+}
+
+TEST(Explanation, ValidatesSizes) {
+  EXPECT_THROW(Explanation(0, 0, {0.1}, {1.0f, 2.0f}, {}),
+               std::invalid_argument);
+  EXPECT_THROW(Explanation(0, 0, {0.1}, {1.0f}, {"a", "b"}),
+               std::invalid_argument);
+}
+
+TEST(Explanation, ExplainSampleEndToEnd) {
+  Dataset d(4);
+  Rng rng(3);
+  for (int i = 0; i < 300; ++i) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    d.append_row(x, x[0] > 0.6f ? 1 : 0, 0);
+  }
+  RandomForestOptions options;
+  options.n_trees = 20;
+  RandomForestClassifier forest(options);
+  forest.fit(d);
+  const TreeShapExplainer explainer(forest);
+  const std::vector<float> x{0.95f, 0.5f, 0.5f, 0.5f};
+  const Explanation e =
+      explain_sample(explainer, forest, x, {"sig", "n1", "n2", "n3"});
+  EXPECT_LT(e.additivity_gap(), 1e-9);
+  // The signal feature must dominate the explanation.
+  EXPECT_EQ(e.ranked()[0].feature_name, "sig");
+  EXPECT_GT(e.ranked()[0].shap_value, 0.0);
+  EXPECT_GT(e.prediction(), e.base_value());
+}
+
+}  // namespace
+}  // namespace drcshap

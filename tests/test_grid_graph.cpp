@@ -1,0 +1,169 @@
+#include "route/grid_graph.hpp"
+
+#include <gtest/gtest.h>
+
+namespace drcshap {
+namespace {
+
+Design empty_design(std::size_t nx = 4, std::size_t ny = 3) {
+  return Design("gg", {0, 0, 40.0, 30.0}, nx, ny);
+}
+
+TEST(GridGraph, EdgeCountsPerLayer) {
+  const GridGraph g(empty_design());
+  // 5 layers on a 4x3 grid: horizontal layers (M1,M3,M5): 3*3=9 edges each;
+  // vertical layers (M2,M4): 4*2=8 edges each.
+  EXPECT_EQ(g.num_edges(), 3u * 9u + 2u * 8u);
+}
+
+TEST(GridGraph, EdgeRespectsPreferredDirection) {
+  const GridGraph g(empty_design());
+  // M1 (horizontal): east/west only.
+  EXPECT_TRUE(g.edge(0, 0, Dir::kEast).has_value());
+  EXPECT_FALSE(g.edge(0, 0, Dir::kNorth).has_value());
+  // M2 (vertical): north/south only.
+  EXPECT_FALSE(g.edge(1, 0, Dir::kEast).has_value());
+  EXPECT_TRUE(g.edge(1, 0, Dir::kNorth).has_value());
+}
+
+TEST(GridGraph, EdgeNoneAtBorder) {
+  const GridGraph g(empty_design(4, 3));
+  EXPECT_FALSE(g.edge(0, 3, Dir::kEast).has_value());   // col 3 is last
+  EXPECT_FALSE(g.edge(0, 0, Dir::kWest).has_value());
+  EXPECT_FALSE(g.edge(1, 8, Dir::kNorth).has_value());  // row 2 is last
+}
+
+TEST(GridGraph, EdgeSymmetric) {
+  const GridGraph g(empty_design());
+  const auto east = g.edge(0, 0, Dir::kEast);
+  const auto west = g.edge(0, 1, Dir::kWest);
+  ASSERT_TRUE(east && west);
+  EXPECT_EQ(*east, *west);
+}
+
+TEST(GridGraph, EdgeCellsInverse) {
+  const GridGraph g(empty_design());
+  for (int m = 0; m < 5; ++m) {
+    for (std::size_t cell = 0; cell < g.num_cells(); ++cell) {
+      const auto e = g.edge_low(m, cell);
+      if (!e) continue;
+      EXPECT_EQ(g.edge_metal(*e), m);
+      const auto [a, b] = g.edge_cells(*e);
+      EXPECT_EQ(a, cell);
+      EXPECT_EQ(b, Technology::is_horizontal(m) ? cell + 1 : cell + g.nx());
+    }
+  }
+}
+
+TEST(GridGraph, CapacitiesMatchTracksWithoutObstacles) {
+  const Design d = empty_design();
+  const GridGraph g(d);
+  for (int m = 2; m < 5; ++m) {  // M3..M5: no density deration
+    for (std::size_t cell = 0; cell < g.num_cells(); ++cell) {
+      const auto e = g.edge_low(m, cell);
+      if (!e) continue;
+      EXPECT_EQ(g.edge_capacity(*e),
+                d.tech().tracks_per_gcell[static_cast<std::size_t>(m)]);
+    }
+  }
+}
+
+TEST(GridGraph, BlockageReducesCapacity) {
+  Design d = empty_design();
+  const GridGraph before(d);
+  d.add_blockage({{0, 0, 20, 30}, 2, 2});  // left half, M3 only
+  const GridGraph after(d);
+  const auto e = after.edge_low(2, 0);  // M3 edge inside the blockage
+  ASSERT_TRUE(e.has_value());
+  EXPECT_LT(after.edge_capacity(*e), before.edge_capacity(*e));
+  // Other layers unaffected.
+  const auto e_m5 = after.edge_low(4, 0);
+  ASSERT_TRUE(e_m5.has_value());
+  EXPECT_EQ(after.edge_capacity(*e_m5), before.edge_capacity(*e_m5));
+}
+
+TEST(GridGraph, FullBlockageZeroesCapacity) {
+  Design d = empty_design();
+  d.add_blockage({{0, 0, 40, 30}, 0, 4});  // everything, all layers
+  const GridGraph g(d);
+  for (std::size_t e = 0; e < g.num_edges(); ++e) {
+    EXPECT_EQ(g.edge_capacity(static_cast<EdgeId>(e)), 0);
+  }
+}
+
+TEST(GridGraph, CellDensityDeratesLowerLayers) {
+  Design d = empty_design();
+  // Fill cell (0,0) fully with a standard cell.
+  d.add_cell({"fat", {0, 0, 10, 10}, false});
+  const GridGraph g(d);
+  const Design empty = empty_design();
+  const GridGraph base(empty);
+  const auto e = g.edge_low(0, 0);  // M1 edge next to the dense cell
+  ASSERT_TRUE(e.has_value());
+  EXPECT_LT(g.edge_capacity(*e), base.edge_capacity(*e));
+}
+
+TEST(GridGraph, LoadAccounting) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(0, 0);
+  EXPECT_EQ(g.edge_load(e), 0);
+  g.add_edge_load(e, 2);
+  EXPECT_EQ(g.edge_load(e), 2);
+  g.add_edge_load(e, -2);
+  EXPECT_EQ(g.edge_load(e), 0);
+  EXPECT_THROW(g.add_edge_load(e, -1), std::logic_error);
+}
+
+TEST(GridGraph, OverflowComputation) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(4, 0);
+  const int cap = g.edge_capacity(e);
+  g.add_edge_load(e, cap + 3);
+  EXPECT_EQ(g.edge_overflow(e), 3);
+  EXPECT_EQ(g.total_edge_overflow(), 3);
+}
+
+TEST(GridGraph, ViaAccounting) {
+  GridGraph g(empty_design());
+  EXPECT_EQ(g.via_load(0, 0), 0);
+  g.add_via_load(0, 0, 5);
+  EXPECT_EQ(g.via_load(0, 0), 5);
+  EXPECT_EQ(g.via_overflow(0, 0), 0);
+  g.add_via_load(0, 0, 1000);
+  EXPECT_GT(g.via_overflow(0, 0), 0);
+  EXPECT_GT(g.total_via_overflow(), 0L);
+  EXPECT_THROW(g.via_load(4, 0), std::out_of_range);
+}
+
+TEST(GridGraph, ResetLoadsKeepsCapacity) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(0, 0);
+  const int cap = g.edge_capacity(e);
+  g.add_edge_load(e, 7);
+  g.add_via_load(1, 2, 3);
+  g.reset_loads();
+  EXPECT_EQ(g.edge_load(e), 0);
+  EXPECT_EQ(g.via_load(1, 2), 0);
+  EXPECT_EQ(g.edge_capacity(e), cap);
+}
+
+TEST(GridGraph, NeighborDirections) {
+  const GridGraph g(empty_design(4, 3));
+  EXPECT_EQ(g.neighbor(0, Dir::kEast), std::optional<std::size_t>(1));
+  EXPECT_EQ(g.neighbor(0, Dir::kNorth), std::optional<std::size_t>(4));
+  EXPECT_FALSE(g.neighbor(0, Dir::kWest).has_value());
+  EXPECT_FALSE(g.neighbor(0, Dir::kSouth).has_value());
+  EXPECT_FALSE(g.neighbor(3, Dir::kEast).has_value());
+}
+
+TEST(GridGraph, HistoryAccumulates) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(0, 0);
+  EXPECT_DOUBLE_EQ(g.edge_history(e), 0.0);
+  g.add_edge_history(e, 1.5);
+  g.add_edge_history(e, 0.5);
+  EXPECT_DOUBLE_EQ(g.edge_history(e), 2.0);
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,134 @@
+// Kernel SHAP is a sampling approximation; these tests check its structural
+// guarantees (additivity by construction, determinism) and that on simple
+// models with independent features it converges toward the exact values the
+// tree explainer computes.
+
+#include "core/kernel_shap.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+
+#include "core/tree_shap.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+Dataset uniform_data(std::size_t n, std::size_t n_features,
+                     std::uint64_t seed) {
+  Dataset d(n_features);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> x(n_features);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    const int label = (x[0] > 0.5f) == (x[1] > 0.5f) ? 0 : 1;
+    d.append_row(x, label, 0);
+  }
+  return d;
+}
+
+RandomForestClassifier fit_forest(const Dataset& d, int n_trees = 25) {
+  RandomForestOptions options;
+  options.n_trees = n_trees;
+  RandomForestClassifier forest(options);
+  forest.fit(d);
+  return forest;
+}
+
+TEST(KernelShap, AdditivityIsExactByConstruction) {
+  const Dataset d = uniform_data(400, 5, 1);
+  const RandomForestClassifier forest = fit_forest(d);
+  const KernelShapExplainer explainer(forest, d);
+  for (const std::size_t i : {0u, 10u, 20u}) {
+    const auto phi = explainer.shap_values(d.row(i));
+    const double total =
+        std::accumulate(phi.begin(), phi.end(), explainer.base_value());
+    EXPECT_NEAR(total, forest.predict_proba(d.row(i)), 1e-9);
+  }
+}
+
+TEST(KernelShap, DeterministicForSeed) {
+  const Dataset d = uniform_data(300, 4, 2);
+  const RandomForestClassifier forest = fit_forest(d);
+  const KernelShapExplainer a(forest, d), b(forest, d);
+  const auto pa = a.shap_values(d.row(3));
+  const auto pb = b.shap_values(d.row(3));
+  for (std::size_t f = 0; f < pa.size(); ++f) {
+    EXPECT_DOUBLE_EQ(pa[f], pb[f]);
+  }
+}
+
+TEST(KernelShap, ApproximatesTreeShapOnIndependentFeatures) {
+  // With uniform independent features, the tree conditioning and the
+  // interventional imputation agree in expectation, so Kernel SHAP should
+  // approach TreeSHAP's exact values.
+  const Dataset d = uniform_data(1200, 4, 3);
+  const RandomForestClassifier forest = fit_forest(d, 30);
+  const TreeShapExplainer exact(forest);
+  KernelShapOptions options;
+  options.n_coalitions = 4000;
+  options.n_background = 60;
+  const KernelShapExplainer approx(forest, d, options);
+
+  Rng rng(4);
+  double total_err = 0.0, total_mag = 0.0;
+  for (int trial = 0; trial < 5; ++trial) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    const auto phi_exact = exact.shap_values(x);
+    const auto phi_approx = approx.shap_values(x);
+    for (std::size_t f = 0; f < 4; ++f) {
+      total_err += std::abs(phi_exact[f] - phi_approx[f]);
+      total_mag += std::abs(phi_exact[f]);
+    }
+  }
+  // Sampling + background noise allow moderate error, but the approximation
+  // must track the exact values (relative L1 error under ~40%).
+  EXPECT_LT(total_err, 0.4 * total_mag + 0.05);
+}
+
+TEST(KernelShap, DummyFeatureNearZero) {
+  // Feature 3 never matters; its Kernel SHAP value should be ~0.
+  Dataset d(4);
+  Rng rng(5);
+  for (int i = 0; i < 800; ++i) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    d.append_row(x, x[0] > 0.5f ? 1 : 0, 0);
+  }
+  const RandomForestClassifier forest = fit_forest(d, 20);
+  KernelShapOptions options;
+  options.n_coalitions = 3000;
+  const KernelShapExplainer explainer(forest, d, options);
+  const std::vector<float> x{0.9f, 0.5f, 0.5f, 0.5f};
+  const auto phi = explainer.shap_values(x);
+  EXPECT_GT(std::abs(phi[0]), 5.0 * std::abs(phi[3]));
+  EXPECT_LT(std::abs(phi[3]), 0.05);
+}
+
+TEST(KernelShap, BaseValueIsBackgroundMeanPrediction) {
+  const Dataset d = uniform_data(200, 3, 6);
+  const RandomForestClassifier forest = fit_forest(d, 10);
+  KernelShapOptions options;
+  options.n_background = 200;  // use everything
+  const KernelShapExplainer explainer(forest, d, options);
+  double mean = 0.0;
+  for (std::size_t i = 0; i < d.n_rows(); ++i) {
+    mean += forest.predict_proba(d.row(i));
+  }
+  EXPECT_NEAR(explainer.base_value(), mean / d.n_rows(), 1e-12);
+}
+
+TEST(KernelShap, ValidatesInput) {
+  const Dataset d = uniform_data(100, 3, 7);
+  const RandomForestClassifier forest = fit_forest(d, 5);
+  Dataset empty(3);
+  EXPECT_THROW(KernelShapExplainer(forest, empty), std::invalid_argument);
+  const KernelShapExplainer explainer(forest, d);
+  EXPECT_THROW(explainer.shap_values(std::vector<float>{1.0f}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,180 @@
+#include "ml/metrics.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+const std::vector<double> kScores{0.9, 0.8, 0.7, 0.6, 0.5, 0.4, 0.3, 0.2};
+const std::vector<std::uint8_t> kLabels{1, 1, 0, 1, 0, 0, 1, 0};
+
+TEST(Confusion, CountsAtThreshold) {
+  const ConfusionCounts c = confusion_at_threshold(kScores, kLabels, 0.65);
+  EXPECT_EQ(c.tp, 2u);  // 0.9, 0.8
+  EXPECT_EQ(c.fp, 1u);  // 0.7
+  EXPECT_EQ(c.fn, 2u);  // 0.6, 0.3
+  EXPECT_EQ(c.tn, 3u);
+  EXPECT_DOUBLE_EQ(c.tpr(), 0.5);
+  EXPECT_DOUBLE_EQ(c.fpr(), 0.25);
+  EXPECT_DOUBLE_EQ(c.precision(), 2.0 / 3.0);
+  EXPECT_DOUBLE_EQ(c.accuracy(), 5.0 / 8.0);
+}
+
+TEST(Confusion, DegenerateRatiosAreNaNOrZero) {
+  const ConfusionCounts all_neg{0, 0, 5, 0};
+  EXPECT_TRUE(std::isnan(all_neg.tpr()));
+  EXPECT_DOUBLE_EQ(all_neg.precision(), 0.0);
+}
+
+TEST(Roc, PerfectClassifier) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<std::uint8_t> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 1.0);
+}
+
+TEST(Roc, WorstClassifier) {
+  const std::vector<double> scores{0.1, 0.2, 0.8, 0.9};
+  const std::vector<std::uint8_t> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 0.0);
+}
+
+TEST(Roc, RandomScoresNearHalf) {
+  Rng rng(5);
+  std::vector<double> scores(20000);
+  std::vector<std::uint8_t> labels(20000);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.2);
+  }
+  EXPECT_NEAR(auroc(scores, labels), 0.5, 0.02);
+}
+
+TEST(Roc, CurveEndpoints) {
+  const auto curve = roc_curve(kScores, kLabels);
+  EXPECT_DOUBLE_EQ(curve.front().fpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.front().tpr, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().fpr, 1.0);
+  EXPECT_DOUBLE_EQ(curve.back().tpr, 1.0);
+}
+
+TEST(Roc, TiedScoresGrouped) {
+  const std::vector<double> scores{0.5, 0.5, 0.5, 0.5};
+  const std::vector<std::uint8_t> labels{1, 0, 1, 0};
+  const auto curve = roc_curve(scores, labels);
+  // One threshold group: (0,0) then (1,1).
+  ASSERT_EQ(curve.size(), 2u);
+  EXPECT_DOUBLE_EQ(auroc(scores, labels), 0.5);
+}
+
+TEST(Roc, OneClassThrowsOrNaN) {
+  const std::vector<double> scores{0.1, 0.2};
+  const std::vector<std::uint8_t> ones{1, 1};
+  EXPECT_THROW(roc_curve(scores, ones), std::invalid_argument);
+  EXPECT_TRUE(std::isnan(auroc(scores, ones)));
+}
+
+TEST(Pr, PerfectClassifierAuprcIsOne) {
+  const std::vector<double> scores{0.9, 0.8, 0.2, 0.1};
+  const std::vector<std::uint8_t> labels{1, 1, 0, 0};
+  EXPECT_DOUBLE_EQ(auprc(scores, labels), 1.0);
+}
+
+TEST(Pr, HandComputedAveragePrecision) {
+  // Descending sweep: labels 1,0,1,0 -> AP = 1*0.5 + (2/3)*0.5... recall
+  // steps at ranks 1 and 3: AP = 0.5*1.0 + 0.5*(2/3) = 5/6.
+  const std::vector<double> scores{0.9, 0.8, 0.7, 0.6};
+  const std::vector<std::uint8_t> labels{1, 0, 1, 0};
+  EXPECT_NEAR(auprc(scores, labels), 5.0 / 6.0, 1e-12);
+}
+
+TEST(Pr, BaselineEqualsPositiveRateForConstantScores) {
+  const std::vector<double> scores(100, 0.5);
+  std::vector<std::uint8_t> labels(100, 0);
+  for (int i = 0; i < 10; ++i) labels[static_cast<std::size_t>(i)] = 1;
+  EXPECT_NEAR(auprc(scores, labels), 0.1, 1e-12);
+}
+
+TEST(Pr, NoPositivesGivesNaN) {
+  const std::vector<double> scores{0.1, 0.2};
+  const std::vector<std::uint8_t> labels{0, 0};
+  EXPECT_TRUE(std::isnan(auprc(scores, labels)));
+  EXPECT_THROW(pr_curve(scores, labels), std::invalid_argument);
+}
+
+TEST(Pr, CurveRecallMonotone) {
+  const auto curve = pr_curve(kScores, kLabels);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].recall, curve[i - 1].recall);
+  }
+  EXPECT_DOUBLE_EQ(curve.back().recall, 1.0);
+}
+
+TEST(OperatingPoint, MaxTprSubjectToFprBudget) {
+  // 1000 negatives, 10 positives; positives ranked first except two.
+  std::vector<double> scores;
+  std::vector<std::uint8_t> labels;
+  for (int i = 0; i < 8; ++i) {
+    scores.push_back(0.99 - i * 0.001);
+    labels.push_back(1);
+  }
+  for (int i = 0; i < 1000; ++i) {
+    scores.push_back(0.5 - i * 0.0001);
+    labels.push_back(0);
+  }
+  scores.push_back(0.45);
+  labels.push_back(1);
+  scores.push_back(0.44);
+  labels.push_back(1);
+  const OperatingPoint op = operating_point_at_fpr(scores, labels, 0.005);
+  // FPR budget = 5 negatives; catching the last two positives would need
+  // ~500 negatives, so TPR* = 8/10. The operating threshold sits exactly at
+  // FPR = 0.5% (5 false positives), giving precision 8/13 there.
+  EXPECT_DOUBLE_EQ(op.tpr, 0.8);
+  EXPECT_DOUBLE_EQ(op.fpr, 0.005);
+  EXPECT_DOUBLE_EQ(op.precision, 8.0 / 13.0);
+}
+
+TEST(OperatingPoint, ZeroWhenFirstGroupExceedsBudget) {
+  const std::vector<double> scores{0.9, 0.9, 0.9, 0.9};
+  const std::vector<std::uint8_t> labels{1, 0, 1, 0};
+  const OperatingPoint op = operating_point_at_fpr(scores, labels, 0.005);
+  EXPECT_DOUBLE_EQ(op.tpr, 0.0);
+}
+
+TEST(OperatingPoint, OneClassIsNaN) {
+  const std::vector<double> scores{0.9, 0.1};
+  const std::vector<std::uint8_t> labels{1, 1};
+  EXPECT_TRUE(std::isnan(operating_point_at_fpr(scores, labels).tpr));
+}
+
+TEST(Metrics, SizeMismatchThrows) {
+  const std::vector<double> scores{0.9};
+  const std::vector<std::uint8_t> labels{1, 0};
+  EXPECT_THROW(auroc(scores, labels), std::invalid_argument);
+  EXPECT_THROW(confusion_at_threshold(scores, labels, 0.5),
+               std::invalid_argument);
+}
+
+// Property: AUPRC is invariant under any strictly monotone score transform.
+TEST(Metrics, MonotoneTransformInvariance) {
+  Rng rng(99);
+  std::vector<double> scores(500);
+  std::vector<std::uint8_t> labels(500);
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    scores[i] = rng.uniform();
+    labels[i] = rng.bernoulli(0.15);
+  }
+  std::vector<double> transformed(scores.size());
+  for (std::size_t i = 0; i < scores.size(); ++i) {
+    transformed[i] = std::exp(3.0 * scores[i]) + 1.0;
+  }
+  EXPECT_NEAR(auprc(scores, labels), auprc(transformed, labels), 1e-12);
+  EXPECT_NEAR(auroc(scores, labels), auroc(transformed, labels), 1e-12);
+}
+
+}  // namespace
+}  // namespace drcshap

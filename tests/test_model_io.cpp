@@ -1,0 +1,82 @@
+#include "core/model_io.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <sstream>
+
+#include "core/tree_shap.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+RandomForestClassifier fitted_forest() {
+  Dataset d(4);
+  Rng rng(5);
+  for (int i = 0; i < 400; ++i) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    d.append_row(x, (x[0] > 0.5f && x[1] < 0.7f) ? 1 : 0, 0);
+  }
+  RandomForestOptions options;
+  options.n_trees = 9;
+  RandomForestClassifier forest(options);
+  forest.fit(d);
+  return forest;
+}
+
+TEST(ModelIo, RoundTripPredictionsIdentical) {
+  const RandomForestClassifier original = fitted_forest();
+  std::stringstream buffer;
+  save_forest(original, buffer);
+  const RandomForestClassifier loaded = load_forest(buffer);
+
+  ASSERT_EQ(loaded.trees().size(), original.trees().size());
+  Rng rng(6);
+  for (int trial = 0; trial < 100; ++trial) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    EXPECT_DOUBLE_EQ(loaded.predict_proba(x), original.predict_proba(x));
+  }
+  EXPECT_EQ(loaded.n_parameters(), original.n_parameters());
+}
+
+TEST(ModelIo, RoundTripPreservesShapValues) {
+  const RandomForestClassifier original = fitted_forest();
+  std::stringstream buffer;
+  save_forest(original, buffer);
+  const RandomForestClassifier loaded = load_forest(buffer);
+  const TreeShapExplainer before(original), after(loaded);
+  EXPECT_DOUBLE_EQ(before.base_value(), after.base_value());
+  const std::vector<float> x{0.8f, 0.2f, 0.5f, 0.5f};
+  const auto phi_a = before.shap_values(x);
+  const auto phi_b = after.shap_values(x);
+  for (std::size_t f = 0; f < 4; ++f) {
+    EXPECT_DOUBLE_EQ(phi_a[f], phi_b[f]);
+  }
+}
+
+TEST(ModelIo, FileRoundTrip) {
+  const RandomForestClassifier original = fitted_forest();
+  const std::string path = "/tmp/drcshap_model_test.rf";
+  save_forest_file(original, path);
+  const RandomForestClassifier loaded = load_forest_file(path);
+  const std::vector<float> x{0.5f, 0.5f, 0.5f, 0.5f};
+  EXPECT_DOUBLE_EQ(loaded.predict_proba(x), original.predict_proba(x));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, RejectsUnfittedAndGarbage) {
+  RandomForestClassifier unfitted;
+  std::stringstream buffer;
+  EXPECT_THROW(save_forest(unfitted, buffer), std::logic_error);
+  std::stringstream garbage("HELLO WORLD");
+  EXPECT_THROW(load_forest(garbage), std::runtime_error);
+  std::stringstream truncated("FOREST 2 4\nTREE 3\n0 0.5 1 2 0.4 10\n");
+  EXPECT_THROW(load_forest(truncated), std::runtime_error);
+  EXPECT_THROW(load_forest_file("/no/such/file.rf"), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,179 @@
+#include "util/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <set>
+
+namespace drcshap {
+namespace {
+
+TEST(Rng, DeterministicForFixedSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(Rng, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a() == b()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) total += rng.uniform();
+  EXPECT_NEAR(total / kN, 0.5, 0.01);
+}
+
+TEST(Rng, UniformIntCoversRangeInclusive) {
+  Rng rng(3);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(rng.uniform_int(-2, 3));
+  EXPECT_EQ(seen.size(), 6u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 3);
+}
+
+TEST(Rng, UniformIntSingleValue) {
+  Rng rng(3);
+  EXPECT_EQ(rng.uniform_int(5, 5), 5);
+}
+
+TEST(Rng, UniformIntRejectsInvertedRange) {
+  Rng rng(3);
+  EXPECT_THROW(rng.uniform_int(2, 1), std::invalid_argument);
+}
+
+TEST(Rng, IndexBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 1000; ++i) EXPECT_LT(rng.index(17), 17u);
+  EXPECT_THROW(rng.index(0), std::invalid_argument);
+}
+
+TEST(Rng, NormalMomentsApproximatelyStandard) {
+  Rng rng(17);
+  constexpr int kN = 100000;
+  double sum = 0.0, sum_sq = 0.0;
+  for (int i = 0; i < kN; ++i) {
+    const double v = rng.normal();
+    sum += v;
+    sum_sq += v * v;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.02);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng rng(19);
+  constexpr int kN = 50000;
+  double sum = 0.0;
+  for (int i = 0; i < kN; ++i) sum += rng.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / kN, 10.0, 0.1);
+}
+
+TEST(Rng, BernoulliEdgeCases) {
+  Rng rng(23);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE(rng.bernoulli(0.0));
+    EXPECT_TRUE(rng.bernoulli(1.0));
+  }
+}
+
+TEST(Rng, BernoulliRate) {
+  Rng rng(29);
+  int hits = 0;
+  constexpr int kN = 100000;
+  for (int i = 0; i < kN; ++i) hits += rng.bernoulli(0.3);
+  EXPECT_NEAR(static_cast<double>(hits) / kN, 0.3, 0.01);
+}
+
+TEST(Rng, PoissonMean) {
+  Rng rng(31);
+  constexpr int kN = 50000;
+  for (const double lambda : {0.5, 3.0, 40.0}) {
+    double total = 0.0;
+    for (int i = 0; i < kN; ++i) {
+      total += static_cast<double>(rng.poisson(lambda));
+    }
+    EXPECT_NEAR(total / kN, lambda, lambda * 0.05 + 0.02) << "lambda " << lambda;
+  }
+}
+
+TEST(Rng, PoissonZeroLambda) {
+  Rng rng(37);
+  EXPECT_EQ(rng.poisson(0.0), 0u);
+  EXPECT_EQ(rng.poisson(-1.0), 0u);
+}
+
+TEST(Rng, ShufflePreservesElements) {
+  Rng rng(41);
+  std::vector<int> v(100);
+  std::iota(v.begin(), v.end(), 0);
+  auto shuffled = v;
+  rng.shuffle(shuffled);
+  EXPECT_NE(shuffled, v);  // astronomically unlikely to be identity
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(Rng, SampleWithoutReplacementDistinct) {
+  Rng rng(43);
+  const auto sample = rng.sample_without_replacement(50, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (const std::size_t s : sample) EXPECT_LT(s, 50u);
+}
+
+TEST(Rng, SampleWithoutReplacementFullSet) {
+  Rng rng(47);
+  const auto sample = rng.sample_without_replacement(5, 5);
+  const std::set<std::size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 5u);
+}
+
+TEST(Rng, SampleWithoutReplacementRejectsOversample) {
+  Rng rng(47);
+  EXPECT_THROW(rng.sample_without_replacement(3, 4), std::invalid_argument);
+}
+
+TEST(Rng, BootstrapIndicesInRangeAndRepeats) {
+  Rng rng(53);
+  const auto idx = rng.bootstrap_indices(1000);
+  EXPECT_EQ(idx.size(), 1000u);
+  for (const std::size_t i : idx) EXPECT_LT(i, 1000u);
+  const std::set<std::size_t> unique(idx.begin(), idx.end());
+  // Bootstrap covers ~63% of the population on average.
+  EXPECT_LT(unique.size(), 750u);
+  EXPECT_GT(unique.size(), 500u);
+}
+
+TEST(Rng, ForkIndependentStreams) {
+  Rng parent(59);
+  Rng child = parent.fork();
+  // Child stream differs from the parent's continued stream.
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 2);
+}
+
+}  // namespace
+}  // namespace drcshap

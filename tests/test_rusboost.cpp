@@ -1,0 +1,114 @@
+#include "baselines/rusboost.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+/// Heavily imbalanced task (~3% positives) with a learnable signal.
+Dataset imbalanced_data(std::size_t n, std::uint64_t seed) {
+  Dataset d(5);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> x(5);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    const double p = (x[0] > 0.8 && x[1] > 0.5) ? 0.7 : 0.01;
+    d.append_row(x, rng.bernoulli(p) ? 1 : 0, 0);
+  }
+  return d;
+}
+
+TEST(RusBoost, LearnsImbalancedSignal) {
+  const Dataset train = imbalanced_data(4000, 1);
+  const Dataset test = imbalanced_data(4000, 2);
+  RusBoostOptions options;
+  options.n_rounds = 40;
+  RusBoostClassifier model(options);
+  model.fit(train);
+  const auto scores = model.predict_proba_all(test);
+  EXPECT_GT(auroc(scores, test.labels()), 0.85);
+  EXPECT_GT(auprc(scores, test.labels()),
+            2.0 * static_cast<double>(test.n_positives()) /
+                static_cast<double>(test.n_rows()));
+}
+
+TEST(RusBoost, BetterRecallThanUnweightedStump) {
+  const Dataset train = imbalanced_data(4000, 3);
+  RusBoostOptions options;
+  options.n_rounds = 30;
+  RusBoostClassifier model(options);
+  model.fit(train);
+  // At threshold 0.5, undersampling-based boosting should catch a decent
+  // share of the rare positives.
+  const auto scores = model.predict_proba_all(train);
+  const ConfusionCounts c = confusion_at_threshold(scores, train.labels(), 0.5);
+  EXPECT_GT(c.tpr(), 0.5);
+}
+
+TEST(RusBoost, MarginAndProbaConsistent) {
+  const Dataset train = imbalanced_data(2000, 4);
+  RusBoostClassifier model;
+  model.fit(train);
+  int checked = 0;
+  for (std::size_t i = 0; i + 1 < 40; i += 2) {
+    const double m0 = model.margin(train.row(i));
+    const double m1 = model.margin(train.row(i + 1));
+    if (std::abs(m0 - m1) < 1e-9) continue;
+    ++checked;
+    // Hard-vote margin and probability must broadly agree in direction.
+    const double p0 = model.predict_proba(train.row(i));
+    const double p1 = model.predict_proba(train.row(i + 1));
+    if (m0 < m1) {
+      EXPECT_LT(p0, p1 + 0.25);
+    } else {
+      EXPECT_GT(p0, p1 - 0.25);
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(RusBoost, UsesRequestedRoundsAtMost) {
+  const Dataset train = imbalanced_data(1500, 5);
+  RusBoostOptions options;
+  options.n_rounds = 15;
+  RusBoostClassifier model(options);
+  model.fit(train);
+  EXPECT_LE(model.n_rounds_used(), 15u);
+  EXPECT_GT(model.n_rounds_used(), 0u);
+}
+
+TEST(RusBoost, DeterministicForSeed) {
+  const Dataset train = imbalanced_data(1500, 6);
+  RusBoostClassifier a, b;
+  a.fit(train);
+  b.fit(train);
+  for (std::size_t i = 0; i < 30; ++i) {
+    EXPECT_DOUBLE_EQ(a.predict_proba(train.row(i)),
+                     b.predict_proba(train.row(i)));
+  }
+}
+
+TEST(RusBoost, ComplexityCountersPositive) {
+  const Dataset train = imbalanced_data(1000, 7);
+  RusBoostClassifier model;
+  model.fit(train);
+  EXPECT_GT(model.n_parameters(), 0u);
+  EXPECT_GT(model.prediction_ops(), 0u);
+}
+
+TEST(RusBoost, ValidatesInput) {
+  EXPECT_THROW(RusBoostClassifier(RusBoostOptions{.n_rounds = 0}),
+               std::invalid_argument);
+  RusBoostClassifier model;
+  EXPECT_THROW(model.predict_proba(std::vector<float>{1.0f}),
+               std::logic_error);
+  Dataset one_class(2);
+  one_class.append_row(std::vector<float>{1, 2}, 1, 0);
+  EXPECT_THROW(model.fit(one_class), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,162 @@
+#include "baselines/svm_rbf.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ml/metrics.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+Dataset linearly_separable(std::size_t n, std::uint64_t seed) {
+  Dataset d(2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int label = rng.bernoulli(0.5) ? 1 : 0;
+    const double cx = label ? 2.0 : -2.0;
+    d.append_row(std::vector<float>{static_cast<float>(cx + rng.normal() * 0.5),
+                                    static_cast<float>(rng.normal() * 0.5)},
+                 label, 0);
+  }
+  return d;
+}
+
+Dataset xor_blobs(std::size_t n, std::uint64_t seed) {
+  Dataset d(2);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    const int a = rng.bernoulli(0.5);
+    const int b = rng.bernoulli(0.5);
+    d.append_row(
+        std::vector<float>{static_cast<float>((a ? 1 : -1) + rng.normal() * 0.3),
+                           static_cast<float>((b ? 1 : -1) + rng.normal() * 0.3)},
+        a ^ b, 0);
+  }
+  return d;
+}
+
+double accuracy(const BinaryClassifier& model, const Dataset& d) {
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < d.n_rows(); ++i) {
+    if ((model.predict_proba(d.row(i)) >= 0.5 ? 1 : 0) == d.label(i)) {
+      ++correct;
+    }
+  }
+  return static_cast<double>(correct) / static_cast<double>(d.n_rows());
+}
+
+TEST(SvmRbf, SolvesLinearlySeparable) {
+  const Dataset train = linearly_separable(300, 1);
+  const Dataset test = linearly_separable(300, 2);
+  SvmRbfOptions options;
+  options.C = 1.0;
+  options.gamma = 0.5;
+  SvmRbfClassifier svm(options);
+  svm.fit(train);
+  EXPECT_GT(accuracy(svm, test), 0.97);
+}
+
+TEST(SvmRbf, RbfKernelSolvesXor) {
+  const Dataset train = xor_blobs(400, 3);
+  const Dataset test = xor_blobs(400, 4);
+  SvmRbfOptions options;
+  options.C = 5.0;
+  options.gamma = 1.0;
+  SvmRbfClassifier svm(options);
+  svm.fit(train);
+  EXPECT_GT(accuracy(svm, test), 0.95);
+}
+
+TEST(SvmRbf, AutoGammaWorks) {
+  const Dataset train = xor_blobs(300, 5);
+  SvmRbfClassifier svm;  // gamma = 0 -> auto
+  svm.fit(train);
+  EXPECT_GT(accuracy(svm, train), 0.9);
+}
+
+TEST(SvmRbf, DualVariablesRespectKkt) {
+  // With separable data and margin, there should be far fewer SVs than
+  // training points, and decision values should separate the classes.
+  const Dataset train = linearly_separable(400, 6);
+  SvmRbfOptions options;
+  options.C = 10.0;
+  options.gamma = 0.5;
+  SvmRbfClassifier svm(options);
+  svm.fit(train);
+  EXPECT_LT(svm.n_support_vectors(), 200u);
+  EXPECT_GT(svm.n_support_vectors(), 0u);
+  int margin_ok = 0;
+  for (std::size_t i = 0; i < 100; ++i) {
+    const double dec = svm.decision_value(train.row(i));
+    if ((dec > 0) == (train.label(i) == 1)) ++margin_ok;
+  }
+  EXPECT_GE(margin_ok, 97);
+}
+
+TEST(SvmRbf, UndersamplesToCap) {
+  Dataset train(2);
+  Rng rng(7);
+  for (int i = 0; i < 3000; ++i) {
+    const int label = i < 100 ? 1 : 0;
+    const double cx = label ? 1.5 : -1.5;
+    train.append_row(
+        std::vector<float>{static_cast<float>(cx + rng.normal() * 0.4),
+                           static_cast<float>(rng.normal())},
+        label, 0);
+  }
+  SvmRbfOptions options;
+  options.max_training_samples = 400;
+  options.gamma = 0.5;
+  SvmRbfClassifier svm(options);
+  svm.fit(train);
+  // SV count bounded by the cap, and the model still separates.
+  EXPECT_LE(svm.n_support_vectors(), 400u);
+  EXPECT_GT(accuracy(svm, train), 0.9);
+}
+
+TEST(SvmRbf, PredictProbaMonotoneInDecision) {
+  const Dataset train = linearly_separable(200, 8);
+  SvmRbfClassifier svm;
+  svm.fit(train);
+  const auto a = train.row(0);
+  const auto b = train.row(1);
+  const bool order_decision = svm.decision_value(a) < svm.decision_value(b);
+  const bool order_proba = svm.predict_proba(a) < svm.predict_proba(b);
+  EXPECT_EQ(order_decision, order_proba);
+}
+
+TEST(SvmRbf, ComplexityCountersMatchSvCount) {
+  const Dataset train = linearly_separable(200, 9);
+  SvmRbfClassifier svm;
+  svm.fit(train);
+  const std::size_t sv = svm.n_support_vectors();
+  EXPECT_EQ(svm.n_parameters(), sv * 3 + 1);           // d=2: (d+1)*sv + 1
+  EXPECT_EQ(svm.prediction_ops(), sv * (3 * 2 + 2));   // 3d+2 per SV
+}
+
+TEST(SvmRbf, ValidatesInput) {
+  EXPECT_THROW(SvmRbfClassifier(SvmRbfOptions{.C = 0.0}),
+               std::invalid_argument);
+  SvmRbfClassifier svm;
+  Dataset one_class(2);
+  one_class.append_row(std::vector<float>{1, 2}, 0, 0);
+  one_class.append_row(std::vector<float>{3, 4}, 0, 0);
+  EXPECT_THROW(svm.fit(one_class), std::invalid_argument);
+  EXPECT_THROW(svm.predict_proba(std::vector<float>{1.0f, 2.0f}),
+               std::logic_error);
+}
+
+TEST(SvmRbf, DeterministicForSeed) {
+  const Dataset train = xor_blobs(300, 10);
+  SvmRbfClassifier a, b;
+  a.fit(train);
+  b.fit(train);
+  EXPECT_EQ(a.n_support_vectors(), b.n_support_vectors());
+  for (std::size_t i = 0; i < 20; ++i) {
+    EXPECT_DOUBLE_EQ(a.decision_value(train.row(i)),
+                     b.decision_value(train.row(i)));
+  }
+}
+
+}  // namespace
+}  // namespace drcshap

@@ -1,0 +1,145 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "util/csv.hpp"
+#include "util/stopwatch.hpp"
+#include "util/table.hpp"
+#include "util/thread_pool.hpp"
+
+namespace drcshap {
+namespace {
+
+// ---------------------------------------------------------------- ThreadPool
+
+TEST(ThreadPool, RunsAllTasks) {
+  ThreadPool pool(4);
+  std::atomic<int> counter{0};
+  pool.parallel_for(100, [&](std::size_t) { ++counter; });
+  EXPECT_EQ(counter.load(), 100);
+}
+
+TEST(ThreadPool, PassesIndices) {
+  ThreadPool pool(2);
+  std::vector<int> hit(50, 0);
+  pool.parallel_for(50, [&](std::size_t i) { hit[i] = static_cast<int>(i); });
+  for (int i = 0; i < 50; ++i) EXPECT_EQ(hit[static_cast<std::size_t>(i)], i);
+}
+
+TEST(ThreadPool, PropagatesExceptions) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(10,
+                                 [&](std::size_t i) {
+                                   if (i == 3) throw std::runtime_error("boom");
+                                 }),
+               std::runtime_error);
+}
+
+TEST(ThreadPool, SubmitReturnsUsableFuture) {
+  ThreadPool pool(1);
+  auto future = pool.submit([] {});
+  future.get();  // must not hang
+}
+
+TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
+  ThreadPool pool(0);
+  EXPECT_GE(pool.size(), 1u);
+}
+
+// --------------------------------------------------------------------- Table
+
+TEST(Table, RendersHeaderAndRows) {
+  Table t({"a", "bb"});
+  t.add_row({"1", "2"});
+  const std::string out = t.to_string();
+  EXPECT_NE(out.find("| a "), std::string::npos);
+  EXPECT_NE(out.find("| 1 "), std::string::npos);
+}
+
+TEST(Table, RejectsArityMismatch) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+}
+
+TEST(Table, RejectsEmptyHeader) {
+  EXPECT_THROW(Table({}), std::invalid_argument);
+}
+
+TEST(Table, SeparatorRendersRule) {
+  Table t({"x"});
+  t.add_row({"1"});
+  t.add_separator();
+  t.add_row({"2"});
+  const std::string out = t.to_string();
+  // 5 rules: top, under header, separator, bottom... count '+' lines.
+  int rules = 0;
+  for (std::size_t pos = 0; (pos = out.find("+-", pos)) != std::string::npos;
+       ++pos) {
+    ++rules;
+  }
+  EXPECT_GE(rules, 4);
+}
+
+TEST(Formatting, FixedKiloPercent) {
+  EXPECT_EQ(fmt_fixed(0.50584, 4), "0.5058");
+  EXPECT_EQ(fmt_kilo(1252200.0, 1), "1252.2k");
+  EXPECT_EQ(fmt_percent(0.506, 1), "50.6%");
+}
+
+// ----------------------------------------------------------------------- CSV
+
+TEST(Csv, EscapeQuotesSpecialCells) {
+  EXPECT_EQ(csv_escape("plain"), "plain");
+  EXPECT_EQ(csv_escape("a,b"), "\"a,b\"");
+  EXPECT_EQ(csv_escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(Csv, ParseHandlesQuotedCommas) {
+  const auto cells = csv_parse_line("a,\"b,c\",d");
+  ASSERT_EQ(cells.size(), 3u);
+  EXPECT_EQ(cells[1], "b,c");
+}
+
+TEST(Csv, ParseHandlesEscapedQuote) {
+  const auto cells = csv_parse_line("\"say \"\"hi\"\"\",x");
+  ASSERT_EQ(cells.size(), 2u);
+  EXPECT_EQ(cells[0], "say \"hi\"");
+}
+
+TEST(Csv, RoundTripThroughFile) {
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drcshap_csv_test.csv").string();
+  {
+    CsvWriter writer(path);
+    writer.write_row({"name", "value,with,commas"});
+    writer.write_row_doubles({1.5, -2.25});
+  }
+  const auto rows = csv_read_file(path);
+  ASSERT_EQ(rows.size(), 2u);
+  EXPECT_EQ(rows[0][1], "value,with,commas");
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][0]), 1.5);
+  EXPECT_DOUBLE_EQ(std::stod(rows[1][1]), -2.25);
+  std::remove(path.c_str());
+}
+
+TEST(Csv, ReadMissingFileThrows) {
+  EXPECT_THROW(csv_read_file("/nonexistent/definitely/not.csv"),
+               std::runtime_error);
+}
+
+// ----------------------------------------------------------------- Stopwatch
+
+TEST(Stopwatch, MeasuresNonNegativeMonotonicTime) {
+  Stopwatch sw;
+  const double t1 = sw.seconds();
+  const double t2 = sw.seconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+  EXPECT_NEAR(sw.minutes() * 60.0, sw.seconds(), 0.1);
+}
+
+}  // namespace
+}  // namespace drcshap
