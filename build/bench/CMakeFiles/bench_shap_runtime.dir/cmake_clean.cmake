@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shap_runtime.dir/bench_shap_runtime.cpp.o"
+  "CMakeFiles/bench_shap_runtime.dir/bench_shap_runtime.cpp.o.d"
+  "bench_shap_runtime"
+  "bench_shap_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shap_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/feature_importance.cpp" "examples/CMakeFiles/feature_importance.dir/feature_importance.cpp.o" "gcc" "examples/CMakeFiles/feature_importance.dir/feature_importance.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

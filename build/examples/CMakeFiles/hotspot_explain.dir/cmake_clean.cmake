@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hotspot_explain.dir/hotspot_explain.cpp.o"
+  "CMakeFiles/hotspot_explain.dir/hotspot_explain.cpp.o.d"
+  "hotspot_explain"
+  "hotspot_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hotspot_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/neural_net.cpp" "src/CMakeFiles/drcshap_baselines.dir/baselines/neural_net.cpp.o" "gcc" "src/CMakeFiles/drcshap_baselines.dir/baselines/neural_net.cpp.o.d"
+  "/root/repo/src/baselines/rusboost.cpp" "src/CMakeFiles/drcshap_baselines.dir/baselines/rusboost.cpp.o" "gcc" "src/CMakeFiles/drcshap_baselines.dir/baselines/rusboost.cpp.o.d"
+  "/root/repo/src/baselines/svm_rbf.cpp" "src/CMakeFiles/drcshap_baselines.dir/baselines/svm_rbf.cpp.o" "gcc" "src/CMakeFiles/drcshap_baselines.dir/baselines/svm_rbf.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_baselines.dir/baselines/neural_net.cpp.o"
+  "CMakeFiles/drcshap_baselines.dir/baselines/neural_net.cpp.o.d"
+  "CMakeFiles/drcshap_baselines.dir/baselines/rusboost.cpp.o"
+  "CMakeFiles/drcshap_baselines.dir/baselines/rusboost.cpp.o.d"
+  "CMakeFiles/drcshap_baselines.dir/baselines/svm_rbf.cpp.o"
+  "CMakeFiles/drcshap_baselines.dir/baselines/svm_rbf.cpp.o.d"
+  "libdrcshap_baselines.a"
+  "libdrcshap_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/benchsuite/design_generator.cpp" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/design_generator.cpp.o" "gcc" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/design_generator.cpp.o.d"
+  "/root/repo/src/benchsuite/pipeline.cpp" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/pipeline.cpp.o" "gcc" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/pipeline.cpp.o.d"
+  "/root/repo/src/benchsuite/suite.cpp" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/suite.cpp.o" "gcc" "src/CMakeFiles/drcshap_benchsuite.dir/benchsuite/suite.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/design_generator.cpp.o"
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/design_generator.cpp.o.d"
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/pipeline.cpp.o"
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/pipeline.cpp.o.d"
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/suite.cpp.o"
+  "CMakeFiles/drcshap_benchsuite.dir/benchsuite/suite.cpp.o.d"
+  "libdrcshap_benchsuite.a"
+  "libdrcshap_benchsuite.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_benchsuite.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

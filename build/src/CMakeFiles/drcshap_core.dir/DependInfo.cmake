@@ -1,0 +1,27 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/brute_force_shap.cpp" "src/CMakeFiles/drcshap_core.dir/core/brute_force_shap.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/brute_force_shap.cpp.o.d"
+  "/root/repo/src/core/decision_tree.cpp" "src/CMakeFiles/drcshap_core.dir/core/decision_tree.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/decision_tree.cpp.o.d"
+  "/root/repo/src/core/explanation.cpp" "src/CMakeFiles/drcshap_core.dir/core/explanation.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/explanation.cpp.o.d"
+  "/root/repo/src/core/kernel_shap.cpp" "src/CMakeFiles/drcshap_core.dir/core/kernel_shap.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/kernel_shap.cpp.o.d"
+  "/root/repo/src/core/model_io.cpp" "src/CMakeFiles/drcshap_core.dir/core/model_io.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/model_io.cpp.o.d"
+  "/root/repo/src/core/random_forest.cpp" "src/CMakeFiles/drcshap_core.dir/core/random_forest.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/random_forest.cpp.o.d"
+  "/root/repo/src/core/tree_shap.cpp" "src/CMakeFiles/drcshap_core.dir/core/tree_shap.cpp.o" "gcc" "src/CMakeFiles/drcshap_core.dir/core/tree_shap.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

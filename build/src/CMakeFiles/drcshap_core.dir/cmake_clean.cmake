@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_core.dir/core/brute_force_shap.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/brute_force_shap.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/decision_tree.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/decision_tree.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/explanation.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/explanation.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/kernel_shap.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/kernel_shap.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/model_io.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/model_io.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/random_forest.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/random_forest.cpp.o.d"
+  "CMakeFiles/drcshap_core.dir/core/tree_shap.cpp.o"
+  "CMakeFiles/drcshap_core.dir/core/tree_shap.cpp.o.d"
+  "libdrcshap_core.a"
+  "libdrcshap_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_drc.dir/drc/drc_oracle.cpp.o"
+  "CMakeFiles/drcshap_drc.dir/drc/drc_oracle.cpp.o.d"
+  "CMakeFiles/drcshap_drc.dir/drc/track_model.cpp.o"
+  "CMakeFiles/drcshap_drc.dir/drc/track_model.cpp.o.d"
+  "libdrcshap_drc.a"
+  "libdrcshap_drc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_drc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/features/feature_extractor.cpp" "src/CMakeFiles/drcshap_features.dir/features/feature_extractor.cpp.o" "gcc" "src/CMakeFiles/drcshap_features.dir/features/feature_extractor.cpp.o.d"
+  "/root/repo/src/features/feature_names.cpp" "src/CMakeFiles/drcshap_features.dir/features/feature_names.cpp.o" "gcc" "src/CMakeFiles/drcshap_features.dir/features/feature_names.cpp.o.d"
+  "/root/repo/src/features/labeler.cpp" "src/CMakeFiles/drcshap_features.dir/features/labeler.cpp.o" "gcc" "src/CMakeFiles/drcshap_features.dir/features/labeler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

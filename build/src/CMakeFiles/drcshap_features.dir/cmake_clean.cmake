@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_features.dir/features/feature_extractor.cpp.o"
+  "CMakeFiles/drcshap_features.dir/features/feature_extractor.cpp.o.d"
+  "CMakeFiles/drcshap_features.dir/features/feature_names.cpp.o"
+  "CMakeFiles/drcshap_features.dir/features/feature_names.cpp.o.d"
+  "CMakeFiles/drcshap_features.dir/features/labeler.cpp.o"
+  "CMakeFiles/drcshap_features.dir/features/labeler.cpp.o.d"
+  "libdrcshap_features.a"
+  "libdrcshap_features.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_features.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

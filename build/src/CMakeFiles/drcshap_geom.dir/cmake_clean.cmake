@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_geom.dir/geom/geometry.cpp.o"
+  "CMakeFiles/drcshap_geom.dir/geom/geometry.cpp.o.d"
+  "libdrcshap_geom.a"
+  "libdrcshap_geom.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_geom.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

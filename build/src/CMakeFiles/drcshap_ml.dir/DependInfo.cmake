@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ml/cross_validation.cpp" "src/CMakeFiles/drcshap_ml.dir/ml/cross_validation.cpp.o" "gcc" "src/CMakeFiles/drcshap_ml.dir/ml/cross_validation.cpp.o.d"
+  "/root/repo/src/ml/dataset.cpp" "src/CMakeFiles/drcshap_ml.dir/ml/dataset.cpp.o" "gcc" "src/CMakeFiles/drcshap_ml.dir/ml/dataset.cpp.o.d"
+  "/root/repo/src/ml/grid_search.cpp" "src/CMakeFiles/drcshap_ml.dir/ml/grid_search.cpp.o" "gcc" "src/CMakeFiles/drcshap_ml.dir/ml/grid_search.cpp.o.d"
+  "/root/repo/src/ml/metrics.cpp" "src/CMakeFiles/drcshap_ml.dir/ml/metrics.cpp.o" "gcc" "src/CMakeFiles/drcshap_ml.dir/ml/metrics.cpp.o.d"
+  "/root/repo/src/ml/scaler.cpp" "src/CMakeFiles/drcshap_ml.dir/ml/scaler.cpp.o" "gcc" "src/CMakeFiles/drcshap_ml.dir/ml/scaler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

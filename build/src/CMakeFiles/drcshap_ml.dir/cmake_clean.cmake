@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_ml.dir/ml/cross_validation.cpp.o"
+  "CMakeFiles/drcshap_ml.dir/ml/cross_validation.cpp.o.d"
+  "CMakeFiles/drcshap_ml.dir/ml/dataset.cpp.o"
+  "CMakeFiles/drcshap_ml.dir/ml/dataset.cpp.o.d"
+  "CMakeFiles/drcshap_ml.dir/ml/grid_search.cpp.o"
+  "CMakeFiles/drcshap_ml.dir/ml/grid_search.cpp.o.d"
+  "CMakeFiles/drcshap_ml.dir/ml/metrics.cpp.o"
+  "CMakeFiles/drcshap_ml.dir/ml/metrics.cpp.o.d"
+  "CMakeFiles/drcshap_ml.dir/ml/scaler.cpp.o"
+  "CMakeFiles/drcshap_ml.dir/ml/scaler.cpp.o.d"
+  "libdrcshap_ml.a"
+  "libdrcshap_ml.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_ml.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

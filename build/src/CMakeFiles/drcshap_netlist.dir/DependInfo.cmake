@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/netlist/def_io.cpp" "src/CMakeFiles/drcshap_netlist.dir/netlist/def_io.cpp.o" "gcc" "src/CMakeFiles/drcshap_netlist.dir/netlist/def_io.cpp.o.d"
+  "/root/repo/src/netlist/design.cpp" "src/CMakeFiles/drcshap_netlist.dir/netlist/design.cpp.o" "gcc" "src/CMakeFiles/drcshap_netlist.dir/netlist/design.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

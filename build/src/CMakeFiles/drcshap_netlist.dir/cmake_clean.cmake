@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_netlist.dir/netlist/def_io.cpp.o"
+  "CMakeFiles/drcshap_netlist.dir/netlist/def_io.cpp.o.d"
+  "CMakeFiles/drcshap_netlist.dir/netlist/design.cpp.o"
+  "CMakeFiles/drcshap_netlist.dir/netlist/design.cpp.o.d"
+  "libdrcshap_netlist.a"
+  "libdrcshap_netlist.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_netlist.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

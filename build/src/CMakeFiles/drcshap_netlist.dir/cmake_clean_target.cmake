@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdrcshap_netlist.a"
+)

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_place.dir/place/placer.cpp.o"
+  "CMakeFiles/drcshap_place.dir/place/placer.cpp.o.d"
+  "libdrcshap_place.a"
+  "libdrcshap_place.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_place.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_route.dir/route/congestion.cpp.o"
+  "CMakeFiles/drcshap_route.dir/route/congestion.cpp.o.d"
+  "CMakeFiles/drcshap_route.dir/route/global_router.cpp.o"
+  "CMakeFiles/drcshap_route.dir/route/global_router.cpp.o.d"
+  "CMakeFiles/drcshap_route.dir/route/grid_graph.cpp.o"
+  "CMakeFiles/drcshap_route.dir/route/grid_graph.cpp.o.d"
+  "CMakeFiles/drcshap_route.dir/route/maze_router.cpp.o"
+  "CMakeFiles/drcshap_route.dir/route/maze_router.cpp.o.d"
+  "CMakeFiles/drcshap_route.dir/route/pattern_router.cpp.o"
+  "CMakeFiles/drcshap_route.dir/route/pattern_router.cpp.o.d"
+  "libdrcshap_route.a"
+  "libdrcshap_route.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_route.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

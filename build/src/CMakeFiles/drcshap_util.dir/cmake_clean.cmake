@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/drcshap_util.dir/util/csv.cpp.o"
+  "CMakeFiles/drcshap_util.dir/util/csv.cpp.o.d"
+  "CMakeFiles/drcshap_util.dir/util/log.cpp.o"
+  "CMakeFiles/drcshap_util.dir/util/log.cpp.o.d"
+  "CMakeFiles/drcshap_util.dir/util/rng.cpp.o"
+  "CMakeFiles/drcshap_util.dir/util/rng.cpp.o.d"
+  "CMakeFiles/drcshap_util.dir/util/table.cpp.o"
+  "CMakeFiles/drcshap_util.dir/util/table.cpp.o.d"
+  "CMakeFiles/drcshap_util.dir/util/thread_pool.cpp.o"
+  "CMakeFiles/drcshap_util.dir/util/thread_pool.cpp.o.d"
+  "libdrcshap_util.a"
+  "libdrcshap_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/drcshap_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,56 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/test_benchsuite.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_benchsuite.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_benchsuite.cpp.o.d"
+  "/root/repo/tests/test_congestion.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_congestion.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_congestion.cpp.o.d"
+  "/root/repo/tests/test_cv_grid.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_cv_grid.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_cv_grid.cpp.o.d"
+  "/root/repo/tests/test_dataset.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_dataset.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_dataset.cpp.o.d"
+  "/root/repo/tests/test_def_io.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_def_io.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_def_io.cpp.o.d"
+  "/root/repo/tests/test_design.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_design.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_design.cpp.o.d"
+  "/root/repo/tests/test_drc.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_drc.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_drc.cpp.o.d"
+  "/root/repo/tests/test_explanation.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_explanation.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_explanation.cpp.o.d"
+  "/root/repo/tests/test_features.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_features.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_features.cpp.o.d"
+  "/root/repo/tests/test_forest.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_forest.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_forest.cpp.o.d"
+  "/root/repo/tests/test_geometry.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_geometry.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_geometry.cpp.o.d"
+  "/root/repo/tests/test_grid_graph.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_grid_graph.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_grid_graph.cpp.o.d"
+  "/root/repo/tests/test_importance.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_importance.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_importance.cpp.o.d"
+  "/root/repo/tests/test_integration.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_integration.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_integration.cpp.o.d"
+  "/root/repo/tests/test_kernel_shap.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_kernel_shap.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_kernel_shap.cpp.o.d"
+  "/root/repo/tests/test_metrics.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_metrics.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_metrics.cpp.o.d"
+  "/root/repo/tests/test_model_io.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_model_io.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_model_io.cpp.o.d"
+  "/root/repo/tests/test_neural_net.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_neural_net.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_neural_net.cpp.o.d"
+  "/root/repo/tests/test_placer.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_placer.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_placer.cpp.o.d"
+  "/root/repo/tests/test_properties.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_properties.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_properties.cpp.o.d"
+  "/root/repo/tests/test_rng.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_rng.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_rng.cpp.o.d"
+  "/root/repo/tests/test_routers.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_routers.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_routers.cpp.o.d"
+  "/root/repo/tests/test_rusboost.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_rusboost.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_rusboost.cpp.o.d"
+  "/root/repo/tests/test_svm.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_svm.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_svm.cpp.o.d"
+  "/root/repo/tests/test_tree.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_tree.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_tree.cpp.o.d"
+  "/root/repo/tests/test_tree_shap.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_tree_shap.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_tree_shap.cpp.o.d"
+  "/root/repo/tests/test_util.cpp" "tests/CMakeFiles/drcshap_tests.dir/test_util.cpp.o" "gcc" "tests/CMakeFiles/drcshap_tests.dir/test_util.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/CMakeFiles/drcshap_benchsuite.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_place.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_features.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_drc.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_route.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_netlist.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_geom.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_ml.dir/DependInfo.cmake"
+  "/root/repo/build/src/CMakeFiles/drcshap_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
