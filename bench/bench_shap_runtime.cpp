@@ -1,10 +1,14 @@
 // Micro-benchmarks for the Section IV-B runtime claims: per-sample SHAP
 // tree-explainer latency as a function of ensemble size and tree depth
 // (the paper reports 1.4 s/sample for its 500-tree RF on 387 features),
-// plus the plain prediction latency for comparison and the exponential
-// brute-force Shapley as a scale reference.
+// batch throughput and thread scaling of the parallel engine, plus the
+// plain prediction latency for comparison and the exponential brute-force
+// Shapley as a scale reference.
 
 #include <benchmark/benchmark.h>
+
+#include <numeric>
+#include <optional>
 
 #include "core/brute_force_shap.hpp"
 #include "core/tree_shap.hpp"
@@ -35,16 +39,33 @@ RandomForestClassifier make_forest(int n_trees, int max_depth,
   RandomForestOptions options;
   options.n_trees = n_trees;
   options.max_depth = max_depth;
-  options.n_threads = 1;
+  // Parallel fit: per-tree seeds make the model thread-count independent,
+  // and only prediction/SHAP latency is measured here.
+  options.n_threads = 0;
   RandomForestClassifier forest(options);
   forest.fit(data);
   return forest;
 }
 
+/// The paper-scale model (500 unpruned trees, 387 features), fitted once
+/// and shared by every batch/thread-scaling benchmark below.
+const Dataset& paper_scale_data() {
+  static const Dataset data = make_data(4000, 387, 7);
+  return data;
+}
+
+const RandomForestClassifier& paper_scale_forest() {
+  static const RandomForestClassifier forest =
+      make_forest(500, -1, paper_scale_data());
+  return forest;
+}
+
 void BM_TreeShapPerSample_Trees(benchmark::State& state) {
-  const Dataset data = make_data(4000, 387, 7);
-  const RandomForestClassifier forest =
-      make_forest(static_cast<int>(state.range(0)), -1, data);
+  const Dataset& data = paper_scale_data();
+  const int n_trees = static_cast<int>(state.range(0));
+  std::optional<RandomForestClassifier> own;
+  if (n_trees != 500) own.emplace(make_forest(n_trees, -1, data));
+  const RandomForestClassifier& forest = own ? *own : paper_scale_forest();
   const TreeShapExplainer explainer(forest);
   const auto x = data.row(1);
   for (auto _ : state) {
@@ -70,9 +91,11 @@ BENCHMARK(BM_TreeShapPerSample_Depth)->Arg(4)->Arg(8)->Arg(16)->Arg(-1)
     ->Unit(benchmark::kMillisecond);
 
 void BM_ForestPredictPerSample(benchmark::State& state) {
-  const Dataset data = make_data(4000, 387, 9);
-  const RandomForestClassifier forest =
-      make_forest(static_cast<int>(state.range(0)), -1, data);
+  const Dataset& data = paper_scale_data();
+  const int n_trees = static_cast<int>(state.range(0));
+  std::optional<RandomForestClassifier> own;
+  if (n_trees != 500) own.emplace(make_forest(n_trees, -1, data));
+  const RandomForestClassifier& forest = own ? *own : paper_scale_forest();
   const auto x = data.row(3);
   for (auto _ : state) {
     benchmark::DoNotOptimize(forest.predict_proba(x));
@@ -80,6 +103,46 @@ void BM_ForestPredictPerSample(benchmark::State& state) {
 }
 BENCHMARK(BM_ForestPredictPerSample)->Arg(150)->Arg(500)
     ->Unit(benchmark::kMicrosecond);
+
+// ---- batched engine: throughput and thread scaling ------------------------
+// samples/sec at 1/2/4/8 threads against the paper-scale model. The batch
+// result is bit-identical for every thread count (tested in
+// test_tree_shap_batch.cpp); only wall time may differ.
+
+void BM_TreeShapBatch_Threads(benchmark::State& state) {
+  const Dataset& data = paper_scale_data();
+  const TreeShapExplainer explainer(paper_scale_forest());
+  constexpr std::size_t kBatchRows = 16;
+  std::vector<std::size_t> rows(kBatchRows);
+  std::iota(rows.begin(), rows.end(), 0);
+  const Dataset batch = data.subset(rows);
+  const auto n_threads = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values_batch(batch, n_threads));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * kBatchRows));
+  state.counters["threads"] = static_cast<double>(n_threads);
+}
+BENCHMARK(BM_TreeShapBatch_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+void BM_ForestPredictBatch_Threads(benchmark::State& state) {
+  const Dataset& data = paper_scale_data();
+  // Same trees, different thread-pool width for predict_proba_all.
+  RandomForestOptions options = paper_scale_forest().options();
+  options.n_threads = static_cast<std::size_t>(state.range(0));
+  RandomForestClassifier forest(options);
+  forest.set_trees(paper_scale_forest().trees(), options);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(forest.predict_proba_all(data));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * data.n_rows()));
+  state.counters["threads"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_ForestPredictBatch_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
+    ->Unit(benchmark::kMillisecond)->UseRealTime();
 
 void BM_BruteForceShap(benchmark::State& state) {
   // Few features so the 2^k enumeration stays feasible; shows why the

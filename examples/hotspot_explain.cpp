@@ -90,9 +90,20 @@ int main(int argc, char** argv) {
       "edge-congestion-dominated", "via-congestion-dominated",
       "macro-adjacent"};
 
+  // One batched SHAP pass over every picked cell (the three archetypes all
+  // ride the thread-parallel engine in a single call).
+  std::vector<std::size_t> picked_cells;
+  for (const std::ptrdiff_t p : picks) {
+    if (p >= 0) picked_cells.push_back(static_cast<std::size_t>(p));
+  }
+  const std::vector<Explanation> explanations =
+      explain_batch(explainer, forest, test_run.samples.subset(picked_cells),
+                    FeatureSchema::names());
+
   std::cout << "=== explaining predicted hotspots in " << test_name
             << " (base value " << fmt_fixed(explainer.base_value(), 4)
             << ") ===\n";
+  std::size_t next_explained = 0;
   for (std::size_t k = 0; k < picks.size(); ++k) {
     if (picks[k] < 0) {
       std::cout << "\n(" << static_cast<char>('a' + k) << ") no strongly "
@@ -100,9 +111,7 @@ int main(int argc, char** argv) {
       continue;
     }
     const auto cell = static_cast<std::size_t>(picks[k]);
-    const Explanation explanation =
-        explain_sample(explainer, forest, test_run.samples.row(cell),
-                       FeatureSchema::names());
+    const Explanation& explanation = explanations[next_explained++];
     std::cout << "\n(" << static_cast<char>('a' + k) << ") g-cell " << cell
               << " [" << kKindName[k] << "], predicted "
               << fmt_fixed(scores[cell], 3) << ", actual label "

@@ -227,6 +227,7 @@ void DecisionTree::fit_binned(const BinnedMatrix& binned, const Dataset& data,
     stack.push_back({left, item.begin, mid, item.depth + 1});
     stack.push_back({right, mid, item.end, item.depth + 1});
   }
+  depth_ = compute_depth();
 }
 
 double DecisionTree::predict_proba(std::span<const float> features) const {
@@ -252,7 +253,7 @@ std::size_t DecisionTree::n_leaves() const {
   return leaves;
 }
 
-int DecisionTree::depth() const {
+int DecisionTree::compute_depth() const {
   if (!fitted()) return 0;
   // Iterative DFS carrying depth.
   int max_depth = 0;
@@ -304,6 +305,7 @@ void DecisionTree::set_nodes(std::vector<TreeNode> nodes,
   if (nodes.empty()) throw std::invalid_argument("set_nodes: empty tree");
   nodes_ = std::move(nodes);
   n_features_ = n_features;
+  depth_ = compute_depth();
 }
 
 }  // namespace drcshap

@@ -93,7 +93,9 @@ class DecisionTree {
   const std::vector<TreeNode>& nodes() const { return nodes_; }
   std::size_t n_nodes() const { return nodes_.size(); }
   std::size_t n_leaves() const;
-  int depth() const;
+  /// Cached at fit/deserialization time: SHAP sizes its per-tree path
+  /// scratch from this on every call, so it must not re-walk the tree.
+  int depth() const { return depth_; }
   /// Mean leaf depth weighted by cover: expected comparisons per prediction.
   double mean_depth() const;
   /// Cover-weighted mean leaf value = E[f(x)] over the training data.
@@ -104,8 +106,11 @@ class DecisionTree {
   void set_nodes(std::vector<TreeNode> nodes, std::size_t n_features);
 
  private:
+  int compute_depth() const;
+
   std::vector<TreeNode> nodes_;  ///< nodes_[0] is the root
   std::size_t n_features_ = 0;
+  int depth_ = 0;
 };
 
 }  // namespace drcshap

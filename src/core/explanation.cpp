@@ -89,6 +89,26 @@ Explanation explain_sample(const TreeShapExplainer& explainer,
                      std::move(feature_names));
 }
 
+std::vector<Explanation> explain_batch(const TreeShapExplainer& explainer,
+                                       const RandomForestClassifier& forest,
+                                       const Dataset& data,
+                                       std::vector<std::string> feature_names,
+                                       std::size_t n_threads) {
+  const std::vector<double> predictions = forest.predict_proba_all(data);
+  const ShapMatrix phi = explainer.shap_values_batch(data, n_threads);
+  std::vector<Explanation> out;
+  out.reserve(data.n_rows());
+  for (std::size_t r = 0; r < data.n_rows(); ++r) {
+    const auto row_phi = phi.row(r);
+    const auto features = data.row(r);
+    out.emplace_back(explainer.base_value(), predictions[r],
+                     std::vector<double>(row_phi.begin(), row_phi.end()),
+                     std::vector<float>(features.begin(), features.end()),
+                     feature_names);
+  }
+  return out;
+}
+
 std::vector<double> mean_abs_shap(const TreeShapExplainer& explainer,
                                   const Dataset& data, std::size_t max_rows,
                                   std::uint64_t seed) {
@@ -103,11 +123,13 @@ std::vector<double> mean_abs_shap(const TreeShapExplainer& explainer,
   } else {
     rows = rng.sample_without_replacement(data.n_rows(), max_rows);
   }
+  // One batched pass over the sampled rows instead of a per-row loop.
+  const ShapMatrix phi = explainer.shap_values_batch(data.subset(rows));
   std::vector<double> importance(data.n_features(), 0.0);
-  for (const std::size_t r : rows) {
-    const auto phi = explainer.shap_values(data.row(r));
+  for (std::size_t r = 0; r < rows.size(); ++r) {
+    const auto row = phi.row(r);
     for (std::size_t f = 0; f < importance.size(); ++f) {
-      importance[f] += std::abs(phi[f]);
+      importance[f] += std::abs(row[f]);
     }
   }
   for (double& v : importance) v /= static_cast<double>(rows.size());

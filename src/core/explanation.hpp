@@ -56,6 +56,15 @@ Explanation explain_sample(const TreeShapExplainer& explainer,
                            std::span<const float> features,
                            std::vector<std::string> feature_names);
 
+/// Explain every row of `data` through the batched engine (one SHAP pass and
+/// one prediction pass over the thread pool instead of per-row calls);
+/// returns one Explanation per row in row order.
+std::vector<Explanation> explain_batch(const TreeShapExplainer& explainer,
+                                       const RandomForestClassifier& forest,
+                                       const Dataset& data,
+                                       std::vector<std::string> feature_names,
+                                       std::size_t n_threads = 0);
+
 /// Global feature importance: mean |SHAP value| per feature over (at most
 /// max_rows of) the dataset — the standard SHAP summary aggregation.
 std::vector<double> mean_abs_shap(const TreeShapExplainer& explainer,

@@ -1,0 +1,45 @@
+#include "core/flat_forest.hpp"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace drcshap {
+
+FlatForest::FlatForest(std::span<const DecisionTree> trees) {
+  if (trees.empty()) throw std::invalid_argument("FlatForest: no trees");
+  std::size_t total_nodes = 0;
+  for (const DecisionTree& tree : trees) {
+    if (!tree.fitted()) throw std::logic_error("FlatForest: unfitted tree");
+    total_nodes += tree.n_nodes();
+  }
+  n_features_ = trees[0].n_features();
+  feature_.reserve(total_nodes);
+  threshold_.reserve(total_nodes);
+  left_.reserve(total_nodes);
+  right_.reserve(total_nodes);
+  value_.reserve(total_nodes);
+  cover_.reserve(total_nodes);
+  roots_.reserve(trees.size());
+  tree_depths_.reserve(trees.size());
+
+  for (const DecisionTree& tree : trees) {
+    if (tree.n_features() != n_features_) {
+      throw std::invalid_argument("FlatForest: feature count mismatch");
+    }
+    const auto base = static_cast<std::int32_t>(feature_.size());
+    roots_.push_back(base);
+    const int depth = tree.depth();
+    tree_depths_.push_back(depth);
+    max_depth_ = std::max(max_depth_, depth);
+    for (const TreeNode& node : tree.nodes()) {
+      feature_.push_back(node.feature);
+      threshold_.push_back(node.threshold);
+      left_.push_back(node.feature < 0 ? -1 : node.left + base);
+      right_.push_back(node.feature < 0 ? -1 : node.right + base);
+      value_.push_back(node.value);
+      cover_.push_back(node.cover);
+    }
+  }
+}
+
+}  // namespace drcshap

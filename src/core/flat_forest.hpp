@@ -1,0 +1,78 @@
+#pragma once
+// Structure-of-arrays snapshot of a fitted tree ensemble, shared by the
+// batched inference and SHAP engines.
+//
+// A fitted DecisionTree stores its nodes as std::vector<TreeNode> (an
+// array-of-structs); walking it chases 48-byte structs whose value/cover
+// doubles the prediction path never reads. Flattening every tree of the
+// ensemble once into parallel feature/threshold/left/right/value/cover
+// arrays (child indices rebased to be absolute, tree depths cached) makes
+// the hot inner loops of predict and TreeSHAP touch only the arrays they
+// need, in one contiguous allocation per field. Build cost is one pass over
+// the nodes — negligible next to training — so forests rebuild their flat
+// view eagerly on fit() and deserialization.
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "core/decision_tree.hpp"
+
+namespace drcshap {
+
+class FlatForest {
+ public:
+  /// Every tree must be fitted and agree on the feature count.
+  explicit FlatForest(std::span<const DecisionTree> trees);
+
+  std::size_t n_trees() const { return roots_.size(); }
+  std::size_t n_features() const { return n_features_; }
+  std::size_t n_nodes() const { return feature_.size(); }
+  /// Max depth over all trees (cached at build; sizes SHAP path scratch).
+  int max_depth() const { return max_depth_; }
+
+  std::int32_t root(std::size_t tree) const { return roots_[tree]; }
+  int tree_depth(std::size_t tree) const { return tree_depths_[tree]; }
+
+  // Node arrays indexed by absolute node id; feature < 0 marks a leaf.
+  const std::int32_t* feature() const { return feature_.data(); }
+  const float* threshold() const { return threshold_.data(); }
+  const std::int32_t* left() const { return left_.data(); }
+  const std::int32_t* right() const { return right_.data(); }
+  const double* value() const { return value_.data(); }
+  const double* cover() const { return cover_.data(); }
+
+  /// Leaf value `x` reaches in one tree. `x` must hold n_features() floats.
+  double predict_tree(std::size_t tree, const float* x) const {
+    std::int32_t node = roots_[tree];
+    while (feature_[static_cast<std::size_t>(node)] >= 0) {
+      const auto n = static_cast<std::size_t>(node);
+      node = x[static_cast<std::size_t>(feature_[n])] <= threshold_[n]
+                 ? left_[n]
+                 : right_[n];
+    }
+    return value_[static_cast<std::size_t>(node)];
+  }
+
+  /// Mean leaf value over all trees, accumulated in tree order (so results
+  /// are independent of how callers distribute rows across threads).
+  double predict(const float* x) const {
+    double total = 0.0;
+    for (std::size_t t = 0; t < n_trees(); ++t) total += predict_tree(t, x);
+    return total / static_cast<double>(n_trees());
+  }
+
+ private:
+  std::vector<std::int32_t> feature_;
+  std::vector<float> threshold_;
+  std::vector<std::int32_t> left_;
+  std::vector<std::int32_t> right_;
+  std::vector<double> value_;
+  std::vector<double> cover_;
+  std::vector<std::int32_t> roots_;      ///< per tree: absolute root id
+  std::vector<int> tree_depths_;         ///< per tree: cached depth
+  std::size_t n_features_ = 0;
+  int max_depth_ = 0;
+};
+
+}  // namespace drcshap

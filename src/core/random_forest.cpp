@@ -49,16 +49,37 @@ void RandomForestClassifier::fit(const Dataset& data) {
     ThreadPool pool(options_.n_threads);
     pool.parallel_for(trees_.size(), build_tree);
   }
+  flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
 }
 
 double RandomForestClassifier::predict_proba(
     std::span<const float> features) const {
   if (!fitted()) throw std::logic_error("RandomForest: not fitted");
-  double total = 0.0;
-  for (const DecisionTree& tree : trees_) {
-    total += tree.predict_proba(features);
+  if (features.size() != flat_->n_features()) {
+    throw std::invalid_argument("RandomForest: feature count mismatch");
   }
-  return total / static_cast<double>(trees_.size());
+  return flat_->predict(features.data());
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_all(
+    const Dataset& data) const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  if (data.n_features() != flat_->n_features()) {
+    throw std::invalid_argument("RandomForest: feature count mismatch");
+  }
+  std::vector<double> out(data.n_rows());
+  if (out.empty()) return out;
+  const FlatForest& flat = *flat_;
+  auto score_row = [&](std::size_t i) {
+    out[i] = flat.predict(data.row(i).data());
+  };
+  if (options_.n_threads == 1 || data.n_rows() == 1) {
+    for (std::size_t i = 0; i < out.size(); ++i) score_row(i);
+  } else {
+    ThreadPool pool(options_.n_threads);
+    pool.parallel_for(out.size(), score_row);
+  }
+  return out;
 }
 
 std::size_t RandomForestClassifier::n_parameters() const {
@@ -78,6 +99,16 @@ std::size_t RandomForestClassifier::prediction_ops() const {
   return static_cast<std::size_t>(ops) + trees_.size();
 }
 
+const FlatForest& RandomForestClassifier::flat() const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  return *flat_;
+}
+
+std::shared_ptr<const FlatForest> RandomForestClassifier::flat_shared() const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  return flat_;
+}
+
 double RandomForestClassifier::expected_value() const {
   if (!fitted()) throw std::logic_error("RandomForest: not fitted");
   double total = 0.0;
@@ -91,6 +122,7 @@ void RandomForestClassifier::set_trees(std::vector<DecisionTree> trees,
   trees_ = std::move(trees);
   options_ = options;
   options_.n_trees = static_cast<int>(trees_.size());
+  flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
 }
 
 }  // namespace drcshap

@@ -2,11 +2,14 @@
 // Random Forest classifier (Breiman 2001), the paper's proposed model:
 // bootstrap-sampled, feature-subsampled, unpruned CART trees whose leaf
 // probabilities are averaged. Tree training is embarrassingly parallel
-// (Section III-A's parallelism argument) via the shared thread pool.
+// (Section III-A's parallelism argument) via the shared thread pool, and a
+// flattened SoA view of the fitted ensemble (rebuilt on fit/deserialize)
+// backs batched prediction and the SHAP tree explainer.
 
 #include <memory>
 
 #include "core/decision_tree.hpp"
+#include "core/flat_forest.hpp"
 #include "ml/classifier.hpp"
 
 namespace drcshap {
@@ -32,6 +35,12 @@ class RandomForestClassifier final : public BinaryClassifier {
   void fit(const Dataset& data) override;
   double predict_proba(std::span<const float> features) const override;
 
+  /// Batched scoring: rows fan out across the thread pool (options().n_threads
+  /// workers), each accumulating its trees in fixed order, so the result is
+  /// identical to the per-row loop for any thread count. Cross-validation and
+  /// grid search call this on every fold.
+  std::vector<double> predict_proba_all(const Dataset& data) const override;
+
   std::size_t n_parameters() const override;
   std::size_t prediction_ops() const override;
   std::string name() const override { return "RF"; }
@@ -39,6 +48,11 @@ class RandomForestClassifier final : public BinaryClassifier {
   bool fitted() const { return !trees_.empty(); }
   const std::vector<DecisionTree>& trees() const { return trees_; }
   const RandomForestOptions& options() const { return options_; }
+
+  /// Flattened SoA view of the fitted ensemble (throws if not fitted). The
+  /// shared_ptr form lets explainers outlive a refit of this classifier.
+  const FlatForest& flat() const;
+  std::shared_ptr<const FlatForest> flat_shared() const;
 
   /// Cover-weighted mean prediction over training data: the SHAP base value.
   double expected_value() const;
@@ -49,6 +63,7 @@ class RandomForestClassifier final : public BinaryClassifier {
  private:
   RandomForestOptions options_;
   std::vector<DecisionTree> trees_;
+  std::shared_ptr<const FlatForest> flat_;
 };
 
 }  // namespace drcshap

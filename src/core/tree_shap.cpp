@@ -1,7 +1,9 @@
 #include "core/tree_shap.hpp"
 
-#include <cmath>
+#include <algorithm>
 #include <stdexcept>
+
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
@@ -79,48 +81,57 @@ double unwound_path_sum(const PathElement* path, int unique_depth,
   return total;
 }
 
-struct TreeShapContext {
-  const std::vector<TreeNode>* nodes;
-  std::span<const float> x;
-  std::vector<double>* phi;
-  // Pre-allocated path storage: recursion level L uses the slot starting at
-  // L * stride. A repeated feature shrinks unique_depth without changing the
-  // level, so slots are keyed by level, not unique depth.
-  std::vector<PathElement> path_storage;
+// Raw-pointer view of one FlatForest plus the per-traversal state: the
+// sample, the phi accumulator, and the path scratch. Recursion level L uses
+// the scratch slot starting at L * stride; a repeated feature shrinks
+// unique_depth without changing the level, so slots are keyed by level.
+struct FlatShapContext {
+  const std::int32_t* feature;
+  const float* threshold;
+  const std::int32_t* left;
+  const std::int32_t* right;
+  const double* value;
+  const double* cover;
+  const float* x;
+  double* phi;
+  PathElement* path_storage;
   int stride;
 };
 
-void tree_shap_recurse(TreeShapContext& ctx, std::int32_t node_index,
+void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
                        int level, int unique_depth,
                        const PathElement* parent_path,
                        double parent_zero_fraction,
                        double parent_one_fraction, int parent_feature_index) {
   // Copy the parent's path into this level's slot, then extend it.
-  PathElement* path =
-      ctx.path_storage.data() + static_cast<std::size_t>(level) * ctx.stride;
+  PathElement* path = ctx.path_storage +
+                      static_cast<std::size_t>(level) *
+                          static_cast<std::size_t>(ctx.stride);
   for (int i = 0; i < unique_depth; ++i) path[i] = parent_path[i];
   extend_path(path, unique_depth, parent_zero_fraction, parent_one_fraction,
               parent_feature_index);
 
-  const TreeNode& node = (*ctx.nodes)[static_cast<std::size_t>(node_index)];
-  if (node.feature < 0) {
+  const auto node = static_cast<std::size_t>(node_index);
+  const std::int32_t feature = ctx.feature[node];
+  if (feature < 0) {
     // Leaf: attribute to every feature on the unique path.
+    const double leaf_value = ctx.value[node];
     for (int i = 1; i <= unique_depth; ++i) {
       const double w = unwound_path_sum(path, unique_depth, i);
-      (*ctx.phi)[static_cast<std::size_t>(path[i].feature_index)] +=
-          w * (path[i].one_fraction - path[i].zero_fraction) * node.value;
+      ctx.phi[static_cast<std::size_t>(path[i].feature_index)] +=
+          w * (path[i].one_fraction - path[i].zero_fraction) * leaf_value;
     }
     return;
   }
 
-  const TreeNode& left = (*ctx.nodes)[static_cast<std::size_t>(node.left)];
-  const TreeNode& right = (*ctx.nodes)[static_cast<std::size_t>(node.right)];
+  const std::int32_t left = ctx.left[node];
+  const std::int32_t right = ctx.right[node];
   const bool goes_left =
-      ctx.x[static_cast<std::size_t>(node.feature)] <= node.threshold;
-  const std::int32_t hot = goes_left ? node.left : node.right;
-  const std::int32_t cold = goes_left ? node.right : node.left;
-  const double hot_cover = goes_left ? left.cover : right.cover;
-  const double cold_cover = goes_left ? right.cover : left.cover;
+      ctx.x[static_cast<std::size_t>(feature)] <= ctx.threshold[node];
+  const std::int32_t hot = goes_left ? left : right;
+  const std::int32_t cold = goes_left ? right : left;
+  const double hot_cover = ctx.cover[static_cast<std::size_t>(hot)];
+  const double cold_cover = ctx.cover[static_cast<std::size_t>(cold)];
 
   double incoming_zero_fraction = 1.0;
   double incoming_one_fraction = 1.0;
@@ -128,7 +139,7 @@ void tree_shap_recurse(TreeShapContext& ctx, std::int32_t node_index,
   // fold its fractions into this one.
   int path_index = 1;
   for (; path_index <= unique_depth; ++path_index) {
-    if (path[path_index].feature_index == node.feature) break;
+    if (path[path_index].feature_index == feature) break;
   }
   int depth_after = unique_depth;
   if (path_index <= unique_depth) {
@@ -138,14 +149,42 @@ void tree_shap_recurse(TreeShapContext& ctx, std::int32_t node_index,
     depth_after = unique_depth - 1;
   }
 
-  const double cover = node.cover;
-  tree_shap_recurse(ctx, hot, level + 1, depth_after + 1, path,
+  const double cover = ctx.cover[node];
+  flat_shap_recurse(ctx, hot, level + 1, depth_after + 1, path,
                     hot_cover / cover * incoming_zero_fraction,
-                    incoming_one_fraction, node.feature);
-  tree_shap_recurse(ctx, cold, level + 1, depth_after + 1, path,
-                    cold_cover / cover * incoming_zero_fraction, 0.0,
-                    node.feature);
+                    incoming_one_fraction, feature);
+  flat_shap_recurse(ctx, cold, level + 1, depth_after + 1, path,
+                    cold_cover / cover * incoming_zero_fraction, 0.0, feature);
 }
+
+/// Accumulate one tree's SHAP values for `x` into `phi` (not normalized).
+/// `path_storage` must hold (forest.max_depth()+1) * stride elements with
+/// stride >= forest.max_depth() + 2.
+void flat_tree_shap(const FlatForest& forest, std::size_t tree, const float* x,
+                    double* phi, PathElement* path_storage, int stride) {
+  FlatShapContext ctx{forest.feature(), forest.threshold(), forest.left(),
+                      forest.right(),   forest.value(),     forest.cover(),
+                      x,                phi,                path_storage,
+                      stride};
+  flat_shap_recurse(ctx, forest.root(tree), /*level=*/0, /*unique_depth=*/0,
+                    /*parent_path=*/nullptr, 1.0, 1.0, -1);
+}
+
+/// Scratch sizing for one forest: a level-L path holds <= L+1 elements.
+std::size_t path_scratch_len(const FlatForest& forest) {
+  return static_cast<std::size_t>(forest.max_depth() + 1) *
+         static_cast<std::size_t>(forest.max_depth() + 2);
+}
+
+// Trees per reduction block of the batch engine. The block partition is a
+// function of the ensemble alone — never of the thread count or the batch
+// size — so the merge structure, and therefore every last bit of the
+// result, is the same no matter how work lands on workers.
+constexpr std::size_t kTreesPerBlock = 64;
+
+// Samples per in-flight slab when tree blocks force a partial buffer;
+// bounds partial memory at ~kPartialBudget doubles per feature.
+constexpr std::size_t kPartialBudget = 2048;
 
 }  // namespace
 
@@ -155,41 +194,133 @@ std::vector<double> TreeShapExplainer::tree_shap_values(
   if (features.size() != tree.n_features()) {
     throw std::invalid_argument("tree_shap: feature count mismatch");
   }
+  const FlatForest flat(std::span<const DecisionTree>(&tree, 1));
   std::vector<double> phi(tree.n_features(), 0.0);
-  const int max_depth = tree.depth();
-
-  TreeShapContext ctx;
-  ctx.nodes = &tree.nodes();
-  ctx.x = features;
-  ctx.phi = &phi;
-  ctx.stride = max_depth + 2;  // a level-L path holds <= L+1 elements
-  ctx.path_storage.assign(
-      static_cast<std::size_t>(max_depth + 1) * static_cast<std::size_t>(ctx.stride),
-      PathElement{});
-
-  tree_shap_recurse(ctx, 0, /*level=*/0, /*unique_depth=*/0,
-                    /*parent_path=*/nullptr, 1.0, 1.0, -1);
+  std::vector<PathElement> path(path_scratch_len(flat));
+  flat_tree_shap(flat, 0, features.data(), phi.data(), path.data(),
+                 flat.max_depth() + 2);
   return phi;
 }
 
-TreeShapExplainer::TreeShapExplainer(const RandomForestClassifier& forest)
-    : forest_(forest), base_value_(forest.expected_value()) {
+TreeShapExplainer::TreeShapExplainer(const RandomForestClassifier& forest) {
   if (!forest.fitted()) {
     throw std::invalid_argument("TreeShapExplainer: forest not fitted");
   }
+  flat_ = forest.flat_shared();
+  base_value_ = forest.expected_value();
 }
 
 std::vector<double> TreeShapExplainer::shap_values(
     std::span<const float> features) const {
-  const auto& trees = forest_.trees();
-  std::vector<double> phi(features.size(), 0.0);
-  for (const DecisionTree& tree : trees) {
-    const std::vector<double> tree_phi = tree_shap_values(tree, features);
-    for (std::size_t f = 0; f < phi.size(); ++f) phi[f] += tree_phi[f];
+  const FlatForest& flat = *flat_;
+  if (features.size() != flat.n_features()) {
+    throw std::invalid_argument("tree_shap: feature count mismatch");
   }
-  const double inv = 1.0 / static_cast<double>(trees.size());
+  std::vector<double> phi(flat.n_features(), 0.0);
+  std::vector<PathElement> path(path_scratch_len(flat));
+  const int stride = flat.max_depth() + 2;
+  for (std::size_t t = 0; t < flat.n_trees(); ++t) {
+    flat_tree_shap(flat, t, features.data(), phi.data(), path.data(), stride);
+  }
+  const double inv = 1.0 / static_cast<double>(flat.n_trees());
   for (double& v : phi) v *= inv;
   return phi;
+}
+
+ShapMatrix TreeShapExplainer::shap_values_batch(const Dataset& data,
+                                                std::size_t n_threads) const {
+  if (data.n_features() != flat_->n_features()) {
+    throw std::invalid_argument("shap_values_batch: feature count mismatch");
+  }
+  return shap_values_batch(std::span<const float>(data.features_flat()),
+                           data.n_rows(), n_threads);
+}
+
+ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
+                                                std::size_t n_rows,
+                                                std::size_t n_threads) const {
+  const FlatForest& flat = *flat_;
+  const std::size_t n_features = flat.n_features();
+  if (features.size() != n_rows * n_features) {
+    throw std::invalid_argument("shap_values_batch: matrix shape mismatch");
+  }
+  ShapMatrix out;
+  out.n_rows = n_rows;
+  out.n_features = n_features;
+  out.values.assign(n_rows * n_features, 0.0);
+  if (n_rows == 0) return out;
+
+  const std::size_t n_trees = flat.n_trees();
+  const std::size_t n_blocks = (n_trees + kTreesPerBlock - 1) / kTreesPerBlock;
+  const double inv = 1.0 / static_cast<double>(n_trees);
+  const int stride = flat.max_depth() + 2;
+  const std::size_t scratch_len = path_scratch_len(flat);
+
+  ThreadPool pool(n_threads);
+  std::vector<std::vector<PathElement>> scratch(pool.size());
+  // Chunks may run inline on the calling thread (worker index -1, or an
+  // index from some other pool), but only when the range is a single chunk
+  // and no task was submitted, so slot 0 is never contended then.
+  auto worker_path = [&]() -> PathElement* {
+    const int w = ThreadPool::current_worker_index();
+    const std::size_t slot =
+        (w < 0 || static_cast<std::size_t>(w) >= scratch.size())
+            ? 0
+            : static_cast<std::size_t>(w);
+    auto& buf = scratch[slot];
+    if (buf.size() < scratch_len) buf.assign(scratch_len, PathElement{});
+    return buf.data();
+  };
+
+  if (n_blocks == 1) {
+    // Small ensemble: one work unit per sample writes its output row
+    // directly, accumulating trees in fixed order.
+    pool.parallel_for(n_rows, [&](std::size_t s) {
+      PathElement* path = worker_path();
+      const float* x = features.data() + s * n_features;
+      double* phi = out.values.data() + s * n_features;
+      for (std::size_t t = 0; t < n_trees; ++t) {
+        flat_tree_shap(flat, t, x, phi, path, stride);
+      }
+      for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
+    });
+    return out;
+  }
+
+  // Large ensemble: (sample, tree-block) work units write per-unit partial
+  // phi rows, merged per sample in ascending block order. Samples stream
+  // through in slabs so the partial buffer stays bounded.
+  const std::size_t slab = std::max<std::size_t>(1, kPartialBudget / n_blocks);
+  std::vector<double> partial(std::min(slab, n_rows) * n_blocks * n_features);
+  for (std::size_t begin = 0; begin < n_rows; begin += slab) {
+    const std::size_t count = std::min(slab, n_rows - begin);
+    std::fill(partial.begin(),
+              partial.begin() +
+                  static_cast<std::ptrdiff_t>(count * n_blocks * n_features),
+              0.0);
+    pool.parallel_for(count * n_blocks, [&](std::size_t unit) {
+      const std::size_t local = unit / n_blocks;
+      const std::size_t block = unit % n_blocks;
+      PathElement* path = worker_path();
+      const float* x = features.data() + (begin + local) * n_features;
+      double* phi = partial.data() + (local * n_blocks + block) * n_features;
+      const std::size_t t_begin = block * kTreesPerBlock;
+      const std::size_t t_end = std::min(n_trees, t_begin + kTreesPerBlock);
+      for (std::size_t t = t_begin; t < t_end; ++t) {
+        flat_tree_shap(flat, t, x, phi, path, stride);
+      }
+    });
+    pool.parallel_for(count, [&](std::size_t local) {
+      double* dst = out.values.data() + (begin + local) * n_features;
+      for (std::size_t block = 0; block < n_blocks; ++block) {
+        const double* src =
+            partial.data() + (local * n_blocks + block) * n_features;
+        for (std::size_t f = 0; f < n_features; ++f) dst[f] += src[f];
+      }
+      for (std::size_t f = 0; f < n_features; ++f) dst[f] *= inv;
+    });
+  }
+  return out;
 }
 
 }  // namespace drcshap

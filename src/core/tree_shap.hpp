@@ -11,7 +11,16 @@
 // Complexity per sample and tree: O(L * D^2) with L leaves and D depth —
 // this is what makes per-hotspot explanations cheap enough to run inside a
 // physical-design loop (Section III-C).
+//
+// Explaining every predicted hotspot of a design means thousands of samples
+// against a 500-tree ensemble, so the explainer also has a batched engine:
+// shap_values_batch fans (sample, tree-block) work units across a thread
+// pool with per-worker path scratch, and merges per-block partial phi
+// vectors in fixed tree order — the accumulation structure depends only on
+// the ensemble, so results are bit-identical for any thread count.
 
+#include <cstddef>
+#include <memory>
 #include <span>
 #include <vector>
 
@@ -19,9 +28,22 @@
 
 namespace drcshap {
 
+/// Row-major matrix of SHAP values: one row of n_features doubles per
+/// explained sample.
+struct ShapMatrix {
+  std::vector<double> values;
+  std::size_t n_rows = 0;
+  std::size_t n_features = 0;
+
+  std::span<const double> row(std::size_t i) const {
+    return {values.data() + i * n_features, n_features};
+  }
+};
+
 class TreeShapExplainer {
  public:
-  /// The forest must stay alive while the explainer is used.
+  /// Snapshots the forest's flattened SoA view; the explainer stays valid
+  /// even if the forest is refit afterwards.
   explicit TreeShapExplainer(const RandomForestClassifier& forest);
 
   /// E[f(x)] over the training distribution (cover-weighted).
@@ -32,12 +54,24 @@ class TreeShapExplainer {
   /// up to floating-point error.
   std::vector<double> shap_values(std::span<const float> features) const;
 
+  /// SHAP values for every row of `data`, computed on the thread pool
+  /// (n_threads == 0 means hardware concurrency). Matches shap_values row
+  /// by row up to reassociation error (< 1e-12 here), and is bit-identical
+  /// across thread counts.
+  ShapMatrix shap_values_batch(const Dataset& data,
+                               std::size_t n_threads = 0) const;
+
+  /// Same, over a row-major matrix of n_rows x n_features floats.
+  ShapMatrix shap_values_batch(std::span<const float> features,
+                               std::size_t n_rows,
+                               std::size_t n_threads = 0) const;
+
   /// SHAP values for a single tree (used by tests and RUSBoost reuse).
   static std::vector<double> tree_shap_values(const DecisionTree& tree,
                                               std::span<const float> features);
 
  private:
-  const RandomForestClassifier& forest_;
+  std::shared_ptr<const FlatForest> flat_;
   double base_value_;
 };
 

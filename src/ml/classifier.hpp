@@ -23,7 +23,9 @@ class BinaryClassifier {
   /// P(y = 1 | x). Must only be called after fit().
   virtual double predict_proba(std::span<const float> features) const = 0;
 
-  /// Scores for every row (default: per-row loop; models may batch).
+  /// Scores for every row (default: per-row loop; models may batch — the
+  /// Random Forest overrides this with a thread-parallel engine, which is
+  /// what cross-validation, grid search, and the Table II benches hit).
   virtual std::vector<double> predict_proba_all(const Dataset& data) const {
     std::vector<double> out(data.n_rows());
     for (std::size_t i = 0; i < data.n_rows(); ++i) {

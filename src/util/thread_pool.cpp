@@ -4,13 +4,17 @@
 
 namespace drcshap {
 
+namespace {
+thread_local int tl_worker_index = -1;
+}  // namespace
+
 ThreadPool::ThreadPool(std::size_t n_threads) {
   if (n_threads == 0) {
     n_threads = std::max<std::size_t>(1, std::thread::hardware_concurrency());
   }
   workers_.reserve(n_threads);
   for (std::size_t i = 0; i < n_threads; ++i) {
-    workers_.emplace_back([this] { worker_loop(); });
+    workers_.emplace_back([this, i] { worker_loop(i); });
   }
 }
 
@@ -35,16 +39,34 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::parallel_for(std::size_t n,
-                              const std::function<void(std::size_t)>& fn) {
+                              const std::function<void(std::size_t)>& fn,
+                              std::size_t grain) {
+  if (n == 0) return;
+  if (grain == 0) {
+    const std::size_t target_chunks = 4 * size();
+    grain = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
+  }
+  const std::size_t n_chunks = (n + grain - 1) / grain;
+  if (n_chunks <= 1) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   std::vector<std::future<void>> futures;
-  futures.reserve(n);
-  for (std::size_t i = 0; i < n; ++i) {
-    futures.push_back(submit([&fn, i] { fn(i); }));
+  futures.reserve(n_chunks);
+  for (std::size_t c = 0; c < n_chunks; ++c) {
+    const std::size_t begin = c * grain;
+    const std::size_t end = std::min(n, begin + grain);
+    futures.push_back(submit([&fn, begin, end] {
+      for (std::size_t i = begin; i < end; ++i) fn(i);
+    }));
   }
   for (auto& f : futures) f.get();  // rethrows task exceptions
 }
 
-void ThreadPool::worker_loop() {
+int ThreadPool::current_worker_index() { return tl_worker_index; }
+
+void ThreadPool::worker_loop(std::size_t worker_index) {
+  tl_worker_index = static_cast<int>(worker_index);
   for (;;) {
     std::packaged_task<void()> task;
     {

@@ -1,7 +1,8 @@
 #pragma once
 // Minimal fixed-size thread pool used to parallelize embarrassingly parallel
-// work (random-forest tree training, per-design pipelines). On a single-core
-// host it degrades gracefully to near-serial execution.
+// work (random-forest tree training, batched SHAP/inference, per-design
+// pipelines). On a single-core host it degrades gracefully to near-serial
+// execution.
 
 #include <condition_variable>
 #include <cstddef>
@@ -29,11 +30,23 @@ class ThreadPool {
   std::future<void> submit(std::function<void()> task);
 
   /// Run fn(i) for i in [0, n) across the pool and wait for all of them.
-  /// Exceptions from tasks propagate out of this call (first one wins).
-  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn);
+  /// The range is chunked into contiguous blocks of `grain` indices so the
+  /// queue holds O(chunks) tasks, not O(n); grain == 0 picks a block size
+  /// targeting ~4 chunks per worker (load balance without per-index
+  /// enqueue/future overhead). A single-chunk range runs inline on the
+  /// calling thread. Exceptions from tasks propagate out of this call
+  /// (first one wins).
+  void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
+                    std::size_t grain = 0);
+
+  /// Index of the calling thread within its owning pool, or -1 when called
+  /// from a thread that is not a pool worker (e.g. the thread that invoked
+  /// parallel_for). Lets parallel work address per-worker scratch arenas
+  /// without locking.
+  static int current_worker_index();
 
  private:
-  void worker_loop();
+  void worker_loop(std::size_t worker_index);
 
   std::vector<std::thread> workers_;
   std::queue<std::packaged_task<void()>> tasks_;

@@ -1,0 +1,192 @@
+// The batched, thread-parallel explanation/inference engine:
+//  * shap_values_batch agrees with the single-sample path per feature,
+//  * results are bit-identical for any thread count (the reduction
+//    structure is fixed by the ensemble, not the scheduler),
+//  * local accuracy (base + sum(phi) == predict_proba) holds row-wise,
+//  * RandomForestClassifier::predict_proba_all matches the per-row loop
+//    exactly, for any thread count,
+//  * explain_batch mirrors explain_sample.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numeric>
+
+#include "core/explanation.hpp"
+#include "core/tree_shap.hpp"
+#include "util/rng.hpp"
+
+namespace drcshap {
+namespace {
+
+Dataset random_data(std::size_t n, std::size_t n_features, std::uint64_t seed,
+                    double noise = 0.3) {
+  Dataset d(n_features);
+  Rng rng(seed);
+  for (std::size_t i = 0; i < n; ++i) {
+    std::vector<float> x(n_features);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    double score = 0.0;
+    for (std::size_t f = 0; f < std::min<std::size_t>(3, n_features); ++f) {
+      score += x[f];
+    }
+    if (n_features >= 2 && x[0] > 0.5 && x[1] > 0.5) score += 1.0;
+    score += noise * rng.normal();
+    d.append_row(x, score > 1.6 ? 1 : 0, 0);
+  }
+  return d;
+}
+
+RandomForestClassifier fitted_forest(const Dataset& data, int n_trees,
+                                     int max_depth = -1) {
+  RandomForestOptions options;
+  options.n_trees = n_trees;
+  options.max_depth = max_depth;
+  RandomForestClassifier forest(options);
+  forest.fit(data);
+  return forest;
+}
+
+TEST(TreeShapBatch, MatchesSingleSamplePathSmallEnsemble) {
+  // 40 trees: exercises the single-block direct-accumulation path.
+  const Dataset d = random_data(400, 12, 11);
+  const RandomForestClassifier forest = fitted_forest(d, 40);
+  const TreeShapExplainer explainer(forest);
+  const ShapMatrix batch = explainer.shap_values_batch(d.subset([&] {
+    std::vector<std::size_t> rows(30);
+    std::iota(rows.begin(), rows.end(), 0);
+    return rows;
+  }()));
+  ASSERT_EQ(batch.n_rows, 30u);
+  ASSERT_EQ(batch.n_features, 12u);
+  for (std::size_t r = 0; r < batch.n_rows; ++r) {
+    const auto single = explainer.shap_values(d.row(r));
+    const auto row = batch.row(r);
+    for (std::size_t f = 0; f < batch.n_features; ++f) {
+      EXPECT_NEAR(row[f], single[f], 1e-12) << "row " << r << " feature " << f;
+    }
+  }
+}
+
+TEST(TreeShapBatch, MatchesSingleSamplePathAcrossTreeBlocks) {
+  // 130 trees: forces multiple tree blocks, so the partial-merge path runs.
+  const Dataset d = random_data(300, 8, 13);
+  const RandomForestClassifier forest = fitted_forest(d, 130, 6);
+  const TreeShapExplainer explainer(forest);
+  const ShapMatrix batch = explainer.shap_values_batch(d, 2);
+  for (std::size_t r = 0; r < 25; ++r) {
+    const auto single = explainer.shap_values(d.row(r));
+    const auto row = batch.row(r);
+    for (std::size_t f = 0; f < batch.n_features; ++f) {
+      EXPECT_NEAR(row[f], single[f], 1e-12) << "row " << r << " feature " << f;
+    }
+  }
+}
+
+TEST(TreeShapBatch, BitIdenticalAcrossThreadCounts) {
+  const Dataset d = random_data(200, 10, 17);
+  const RandomForestClassifier forest = fitted_forest(d, 130, 7);
+  const TreeShapExplainer explainer(forest);
+  const ShapMatrix one = explainer.shap_values_batch(d, 1);
+  const ShapMatrix two = explainer.shap_values_batch(d, 2);
+  const ShapMatrix eight = explainer.shap_values_batch(d, 8);
+  ASSERT_EQ(one.values.size(), two.values.size());
+  ASSERT_EQ(one.values.size(), eight.values.size());
+  for (std::size_t i = 0; i < one.values.size(); ++i) {
+    // Exact equality by construction: the reduction shape is fixed.
+    EXPECT_EQ(one.values[i], two.values[i]) << "element " << i;
+    EXPECT_EQ(one.values[i], eight.values[i]) << "element " << i;
+  }
+}
+
+TEST(TreeShapBatch, LocalAccuracyOnMultiTreeForest) {
+  const Dataset d = random_data(500, 15, 19);
+  const RandomForestClassifier forest = fitted_forest(d, 70);
+  const TreeShapExplainer explainer(forest);
+  const ShapMatrix batch = explainer.shap_values_batch(d, 4);
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    const auto row = batch.row(r);
+    const double total =
+        std::accumulate(row.begin(), row.end(), explainer.base_value());
+    EXPECT_NEAR(total, forest.predict_proba(d.row(r)), 1e-9) << "row " << r;
+  }
+}
+
+TEST(TreeShapBatch, SpanOverloadMatchesDatasetOverload) {
+  const Dataset d = random_data(60, 6, 23);
+  const RandomForestClassifier forest = fitted_forest(d, 20, 5);
+  const TreeShapExplainer explainer(forest);
+  const ShapMatrix from_dataset = explainer.shap_values_batch(d, 2);
+  const ShapMatrix from_span = explainer.shap_values_batch(
+      std::span<const float>(d.features_flat()), d.n_rows(), 2);
+  ASSERT_EQ(from_dataset.values.size(), from_span.values.size());
+  for (std::size_t i = 0; i < from_dataset.values.size(); ++i) {
+    EXPECT_EQ(from_dataset.values[i], from_span.values[i]);
+  }
+}
+
+TEST(TreeShapBatch, EmptyBatchAndValidation) {
+  const Dataset d = random_data(80, 5, 29);
+  const RandomForestClassifier forest = fitted_forest(d, 10, 4);
+  const TreeShapExplainer explainer(forest);
+
+  const ShapMatrix empty = explainer.shap_values_batch(
+      std::span<const float>{}, 0, 2);
+  EXPECT_EQ(empty.n_rows, 0u);
+  EXPECT_TRUE(empty.values.empty());
+
+  // Mis-shaped inputs throw.
+  const std::vector<float> x(7, 0.5f);
+  EXPECT_THROW(explainer.shap_values_batch(std::span<const float>(x), 1, 1),
+               std::invalid_argument);
+  EXPECT_THROW(explainer.shap_values_batch(random_data(10, 4, 31), 1),
+               std::invalid_argument);
+}
+
+TEST(RandomForestBatch, PredictProbaAllMatchesPerRowExactly) {
+  const Dataset d = random_data(300, 9, 37);
+  const RandomForestClassifier forest = fitted_forest(d, 30);
+  const std::vector<double> batch = forest.predict_proba_all(d);
+  ASSERT_EQ(batch.size(), d.n_rows());
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    EXPECT_DOUBLE_EQ(batch[r], forest.predict_proba(d.row(r))) << "row " << r;
+  }
+}
+
+TEST(RandomForestBatch, PredictProbaAllBitIdenticalAcrossThreadCounts) {
+  const Dataset d = random_data(250, 7, 41);
+  std::vector<std::vector<double>> results;
+  for (const std::size_t n_threads : {1u, 2u, 8u}) {
+    RandomForestOptions options;
+    options.n_trees = 25;
+    options.n_threads = n_threads;
+    RandomForestClassifier forest(options);
+    forest.fit(d);  // per-tree seeds make the model thread-count independent
+    results.push_back(forest.predict_proba_all(d));
+  }
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    EXPECT_EQ(results[0][r], results[1][r]) << "row " << r;
+    EXPECT_EQ(results[0][r], results[2][r]) << "row " << r;
+  }
+}
+
+TEST(ExplainBatch, MirrorsExplainSample) {
+  const Dataset d = random_data(40, 8, 43);
+  const RandomForestClassifier forest = fitted_forest(d, 15, 6);
+  const TreeShapExplainer explainer(forest);
+  const std::vector<Explanation> batch =
+      explain_batch(explainer, forest, d, {}, 2);
+  ASSERT_EQ(batch.size(), d.n_rows());
+  for (std::size_t r = 0; r < d.n_rows(); ++r) {
+    const Explanation single = explain_sample(explainer, forest, d.row(r), {});
+    EXPECT_DOUBLE_EQ(batch[r].prediction(), single.prediction());
+    ASSERT_EQ(batch[r].shap_values().size(), single.shap_values().size());
+    for (std::size_t f = 0; f < single.shap_values().size(); ++f) {
+      EXPECT_NEAR(batch[r].shap_values()[f], single.shap_values()[f], 1e-12);
+    }
+    EXPECT_LT(batch[r].additivity_gap(), 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace drcshap

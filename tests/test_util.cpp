@@ -49,6 +49,47 @@ TEST(ThreadPool, ZeroThreadsMeansHardwareConcurrency) {
   EXPECT_GE(pool.size(), 1u);
 }
 
+TEST(ThreadPool, ExplicitGrainCoversEveryIndexOnce) {
+  ThreadPool pool(3);
+  std::vector<std::atomic<int>> hits(50);
+  pool.parallel_for(
+      50, [&](std::size_t i) { ++hits[i]; }, /*grain=*/7);
+  for (const auto& h : hits) EXPECT_EQ(h.load(), 1);
+}
+
+TEST(ThreadPool, GrainLargerThanRangeRunsInline) {
+  ThreadPool pool(2);
+  std::vector<int> hit(10, 0);
+  pool.parallel_for(
+      10, [&](std::size_t i) { hit[i] = 1; }, /*grain=*/100);
+  for (const int h : hit) EXPECT_EQ(h, 1);
+}
+
+TEST(ThreadPool, WorkerIndexIsStableAndInRange) {
+  ThreadPool pool(3);
+  // The calling thread is not a pool worker.
+  EXPECT_EQ(ThreadPool::current_worker_index(), -1);
+  std::vector<std::atomic<int>> seen(200);
+  pool.parallel_for(200, [&](std::size_t i) {
+    seen[i] = ThreadPool::current_worker_index();
+  });
+  // 200 indices chunk into >1 tasks, so every index ran on a pool worker
+  // whose id addresses a per-worker scratch slot.
+  for (const auto& w : seen) {
+    EXPECT_GE(w.load(), 0);
+    EXPECT_LT(w.load(), 3);
+  }
+}
+
+TEST(ThreadPool, ChunkedExceptionStillPropagates) {
+  ThreadPool pool(2);
+  EXPECT_THROW(pool.parallel_for(
+                   1000, [&](std::size_t i) {
+                     if (i == 777) throw std::runtime_error("boom");
+                   }),
+               std::runtime_error);
+}
+
 // --------------------------------------------------------------------- Table
 
 TEST(Table, RendersHeaderAndRows) {
