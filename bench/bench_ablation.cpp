@@ -20,6 +20,7 @@
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
 #include "ml/metrics.hpp"
+#include "obs/run_report.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -228,5 +229,9 @@ int main(int argc, char** argv) {
   }
 
   run_shap_comparison();
+
+  obs::RunReportOptions report;
+  report.tool = "bench_ablation";
+  obs::write_default_run_report(report);
   return 0;
 }

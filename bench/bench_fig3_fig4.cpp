@@ -24,6 +24,7 @@
 #include "benchsuite/pipeline.hpp"
 #include "core/explanation.hpp"
 #include "core/tree_shap.hpp"
+#include "obs/run_report.hpp"
 #include "features/labeler.hpp"
 #include "ml/metrics.hpp"
 #include "util/stopwatch.hpp"
@@ -235,5 +236,9 @@ int main(int argc, char** argv) {
                                static_cast<double>(hotspots.n_rows()), 3)
               << " s/sample\n";
   }
+
+  obs::RunReportOptions report;
+  report.tool = "bench_fig3_fig4";
+  obs::write_default_run_report(report);
   return 0;
 }

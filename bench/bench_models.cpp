@@ -9,6 +9,7 @@
 #include "baselines/rusboost.hpp"
 #include "baselines/svm_rbf.hpp"
 #include "core/random_forest.hpp"
+#include "obs_report.hpp"
 #include "util/rng.hpp"
 
 namespace drcshap {
@@ -133,4 +134,6 @@ BENCHMARK(BM_Fit_NN1)->Unit(benchmark::kMillisecond)->Iterations(1);
 }  // namespace
 }  // namespace drcshap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return drcshap::run_benchmarks_with_report(argc, argv, "bench_models");
+}

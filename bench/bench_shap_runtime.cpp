@@ -12,6 +12,7 @@
 
 #include "core/brute_force_shap.hpp"
 #include "core/tree_shap.hpp"
+#include "obs_report.hpp"
 #include "util/rng.hpp"
 
 namespace drcshap {
@@ -24,10 +25,14 @@ Dataset make_data(std::size_t n_rows, std::size_t n_features,
   Dataset d(n_features);
   Rng rng(seed);
   std::vector<float> x(n_features);
+  // Wrap the driver-feature indices so few-feature variants (the brute-force
+  // benches use 8/12/16 features) stay in bounds; at 387 features the
+  // indices are unchanged.
+  const auto f = [&](std::size_t i) -> float { return x[i % n_features]; };
   for (std::size_t i = 0; i < n_rows; ++i) {
     for (auto& v : x) v = static_cast<float>(rng.uniform());
     const double danger =
-        2.0 * x[5] + 1.5 * x[17] + (x[5] > 0.7 && x[42] > 0.5 ? 1.5 : 0.0) +
+        2.0 * f(5) + 1.5 * f(17) + (f(5) > 0.7 && f(42) > 0.5 ? 1.5 : 0.0) +
         0.6 * rng.normal();
     d.append_row(x, danger > 2.6 ? 1 : 0, 0);
   }
@@ -179,4 +184,7 @@ BENCHMARK(BM_TreeShapSingleTree)->Arg(8)->Arg(12)->Arg(16)
 }  // namespace
 }  // namespace drcshap
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return drcshap::run_benchmarks_with_report(argc, argv,
+                                             "bench_shap_runtime");
+}

@@ -13,6 +13,7 @@
 #include <map>
 
 #include "benchsuite/pipeline.hpp"
+#include "obs/run_report.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
 
@@ -86,5 +87,10 @@ int main(int argc, char** argv) {
             << " positive rate; paper full-scale: 146090 samples, 2616 "
                "hotspots = 1.8%)\n";
   std::cout << "wall time: " << fmt_fixed(total.seconds(), 1) << " s\n";
+
+  obs::RunReportOptions report;
+  report.tool = "bench_table1";
+  report.extra["scale"] = fmt_fixed(scale, 2);
+  obs::write_default_run_report(report);
   return 0;
 }

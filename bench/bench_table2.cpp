@@ -32,6 +32,7 @@
 #include "ml/grid_search.hpp"
 #include "ml/metrics.hpp"
 #include "ml/scaler.hpp"
+#include "obs/run_report.hpp"
 #include "util/csv.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -336,5 +337,9 @@ int main(int argc, char** argv) {
     }
     std::cout << "per-design results written to " << config.csv_path << "\n";
   }
+
+  obs::RunReportOptions report;
+  report.tool = "bench_table2";
+  obs::write_default_run_report(report);
   return 0;
 }

@@ -1,6 +1,7 @@
 #include "benchsuite/pipeline.hpp"
 
 #include "features/labeler.hpp"
+#include "obs/registry.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -9,6 +10,8 @@ namespace drcshap {
 
 DesignRun run_pipeline(const BenchmarkSpec& spec,
                        const PipelineOptions& options, int group_id) {
+  DRCSHAP_OBS_TIMER("pipeline/run");
+  obs::counter_add("pipeline/designs");
   Stopwatch timer;
   const int group = group_id >= 0 ? group_id : spec.table_group;
 
@@ -24,10 +27,14 @@ DesignRun run_pipeline(const BenchmarkSpec& spec,
 
   const FeatureExtractor extractor(design, route.congestion);
   Dataset samples(FeatureSchema::kNumFeatures, FeatureSchema::names());
-  std::vector<float> row(FeatureSchema::kNumFeatures);
-  for (std::size_t cell = 0; cell < design.grid().size(); ++cell) {
-    extractor.extract_into(cell, row);
-    samples.append_row(row, drc.hotspot[cell], group);
+  {
+    DRCSHAP_OBS_TIMER("features/extract");
+    obs::counter_add("features/rows", design.grid().size());
+    std::vector<float> row(FeatureSchema::kNumFeatures);
+    for (std::size_t cell = 0; cell < design.grid().size(); ++cell) {
+      extractor.extract_into(cell, row);
+      samples.append_row(row, drc.hotspot[cell], group);
+    }
   }
 
   log_info("pipeline ", spec.name, ": ", design.num_cells(), " cells, ",

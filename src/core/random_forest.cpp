@@ -3,6 +3,7 @@
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace drcshap {
@@ -16,6 +17,10 @@ RandomForestClassifier::RandomForestClassifier(RandomForestOptions options)
 
 void RandomForestClassifier::fit(const Dataset& data) {
   if (data.n_rows() == 0) throw std::invalid_argument("RandomForest: empty");
+  DRCSHAP_OBS_TIMER("forest/fit");
+  obs::counter_add("forest/fit_rows", data.n_rows());
+  obs::counter_add("forest/trees_built",
+                   static_cast<std::uint64_t>(options_.n_trees));
   const BinnedMatrix binned(data, options_.max_bins);
   trees_.assign(static_cast<std::size_t>(options_.n_trees), DecisionTree{});
 
@@ -67,6 +72,8 @@ std::vector<double> RandomForestClassifier::predict_proba_all(
   if (data.n_features() != flat_->n_features()) {
     throw std::invalid_argument("RandomForest: feature count mismatch");
   }
+  DRCSHAP_OBS_TIMER("forest/predict_all");
+  obs::counter_add("forest/rows_scored", data.n_rows());
   std::vector<double> out(data.n_rows());
   if (out.empty()) return out;
   const FlatForest& flat = *flat_;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
 namespace drcshap {
@@ -216,6 +217,8 @@ std::vector<double> TreeShapExplainer::shap_values(
   if (features.size() != flat.n_features()) {
     throw std::invalid_argument("tree_shap: feature count mismatch");
   }
+  DRCSHAP_OBS_TIMER("shap/values");
+  obs::counter_add("shap/samples");
   std::vector<double> phi(flat.n_features(), 0.0);
   std::vector<PathElement> path(path_scratch_len(flat));
   const int stride = flat.max_depth() + 2;
@@ -244,6 +247,9 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   if (features.size() != n_rows * n_features) {
     throw std::invalid_argument("shap_values_batch: matrix shape mismatch");
   }
+  DRCSHAP_OBS_TIMER("shap/values_batch");
+  obs::counter_add("shap/batch_samples", n_rows);
+  obs::counter_add("shap/tree_traversals", n_rows * flat.n_trees());
   ShapMatrix out;
   out.n_rows = n_rows;
   out.n_features = n_features;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "obs/registry.hpp"
 #include "util/rng.hpp"
 
 namespace drcshap {
@@ -122,6 +123,7 @@ double drc_difficulty(const Design& design, const TrackModel& track,
 
 DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
                          const DrcOracleOptions& options) {
+  DRCSHAP_OBS_TIMER("drc/oracle");
   const GCellGrid& grid = design.grid();
   const TrackModel track(design, congestion);
   const std::vector<GCellAggregate> agg = compute_gcell_aggregates(design);

@@ -1,0 +1,94 @@
+#pragma once
+// Minimal JSON document model for the run-report writer and its tests: a
+// tagged value that can be built programmatically, dumped with stable
+// ordering/indentation, and parsed back (strict RFC-8259 subset — enough
+// to round-trip our own reports and to read google-benchmark output).
+// Object keys are kept in sorted order so dumps are deterministic.
+
+#include <cstdint>
+#include <map>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace drcshap::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(std::int64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(std::uint64_t value)
+      : type_(Type::kNumber), number_(static_cast<double>(value)) {}
+  JsonValue(int value) : type_(Type::kNumber), number_(value) {}
+  JsonValue(const char* value) : type_(Type::kString), string_(value) {}
+  JsonValue(std::string value)
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(Array value) : type_(Type::kArray), array_(std::move(value)) {}
+  JsonValue(Object value) : type_(Type::kObject), object_(std::move(value)) {}
+
+  static JsonValue make_object() { return JsonValue(Object{}); }
+  static JsonValue make_array() { return JsonValue(Array{}); }
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_object() const { return type_ == Type::kObject; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_bool() const { return type_ == Type::kBool; }
+
+  bool as_bool() const { return checked(Type::kBool), bool_; }
+  double as_number() const { return checked(Type::kNumber), number_; }
+  const std::string& as_string() const {
+    return checked(Type::kString), string_;
+  }
+  const Array& as_array() const { return checked(Type::kArray), array_; }
+  const Object& as_object() const { return checked(Type::kObject), object_; }
+
+  /// Object field access; inserting a missing key on the mutable overload.
+  JsonValue& operator[](const std::string& key);
+  /// Const lookup: throws std::out_of_range on a missing key.
+  const JsonValue& at(const std::string& key) const;
+  bool contains(const std::string& key) const;
+
+  void push_back(JsonValue value);
+
+  /// Serialize. indent > 0 pretty-prints with that many spaces per level;
+  /// indent == 0 emits the compact single-line form.
+  std::string dump(int indent = 2) const;
+
+  /// Strict parse of a complete JSON document (trailing junk rejected).
+  /// Throws std::runtime_error with position info on malformed input.
+  static JsonValue parse(std::string_view text);
+
+  /// Parse the contents of a file (throws std::runtime_error on IO error).
+  static JsonValue parse_file(const std::string& path);
+
+ private:
+  void checked(Type expected) const {
+    if (type_ != expected) {
+      throw std::logic_error("JsonValue: wrong type access");
+    }
+  }
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+/// Escape `text` for embedding inside a JSON string literal (no quotes).
+std::string json_escape(std::string_view text);
+
+}  // namespace drcshap::obs

@@ -1,0 +1,111 @@
+#pragma once
+// Pipeline observability: monotonic counters, gauges and scoped wall-clock
+// timers in a process-global registry. Updates go to per-thread shards (one
+// uncontended mutex each), so instrumented code is safe and cheap inside
+// ThreadPool::parallel_for; snapshot() merges every live shard plus the
+// folded data of exited threads into one deterministic view.
+//
+// The whole subsystem is compile-time switchable: configuring with
+// -DDRCSHAP_OBS=OFF defines DRCSHAP_OBS_ENABLED=0 and every call below
+// becomes an empty inline function the optimizer deletes, so the Release
+// hot path carries zero instrumentation cost.
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <string_view>
+
+#ifndef DRCSHAP_OBS_ENABLED
+#define DRCSHAP_OBS_ENABLED 1
+#endif
+
+namespace drcshap::obs {
+
+/// Compile-time switch mirror, for code (and tests) that needs to know
+/// whether instrumentation actually records anything.
+constexpr bool kEnabled = DRCSHAP_OBS_ENABLED != 0;
+
+struct TimerStat {
+  std::uint64_t count = 0;     ///< completed scopes
+  std::uint64_t total_ns = 0;  ///< summed wall time
+  std::uint64_t max_ns = 0;    ///< longest single scope
+
+  double total_ms() const { return static_cast<double>(total_ns) * 1e-6; }
+  double mean_ms() const {
+    return count == 0 ? 0.0 : total_ms() / static_cast<double>(count);
+  }
+};
+
+/// One merged, ordered view of the registry. Counters and timer totals are
+/// integer sums over shards, so the merged value is independent of shard
+/// enumeration order and thread scheduling; gauges keep the most recent
+/// set() (global sequence stamp).
+struct Snapshot {
+  std::map<std::string, std::uint64_t> counters;
+  std::map<std::string, double> gauges;
+  std::map<std::string, TimerStat> timers;
+};
+
+#if DRCSHAP_OBS_ENABLED
+
+/// Add `delta` to the named monotonic counter (thread-safe, shard-local).
+void counter_add(std::string_view name, std::uint64_t delta = 1);
+
+/// Set the named gauge; the last write in program order wins in snapshots.
+void gauge_set(std::string_view name, double value);
+
+/// Record one completed timer scope of `elapsed_ns` (used by ScopedTimer;
+/// callable directly for externally measured durations).
+void timer_record(std::string_view name, std::uint64_t elapsed_ns);
+
+/// Merge all shards (live and retired) into one ordered snapshot.
+Snapshot snapshot();
+
+/// Clear every counter/gauge/timer in every shard. Meant for tests and for
+/// bench binaries that emit one report per configuration.
+void reset();
+
+/// Monotonic wall clock in nanoseconds (steady_clock).
+std::uint64_t now_ns();
+
+/// RAII wall-clock timer: records one TimerStat sample on destruction.
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view name)
+      : name_(name), start_ns_(now_ns()) {}
+  ~ScopedTimer() { timer_record(name_, now_ns() - start_ns_); }
+
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+
+ private:
+  std::string name_;
+  std::uint64_t start_ns_;
+};
+
+#else  // DRCSHAP_OBS_ENABLED == 0: every call is an inline no-op.
+
+inline void counter_add(std::string_view, std::uint64_t = 1) {}
+inline void gauge_set(std::string_view, double) {}
+inline void timer_record(std::string_view, std::uint64_t) {}
+inline Snapshot snapshot() { return {}; }
+inline void reset() {}
+inline std::uint64_t now_ns() { return 0; }
+
+class ScopedTimer {
+ public:
+  explicit ScopedTimer(std::string_view) {}
+  ScopedTimer(const ScopedTimer&) = delete;
+  ScopedTimer& operator=(const ScopedTimer&) = delete;
+};
+
+#endif  // DRCSHAP_OBS_ENABLED
+
+}  // namespace drcshap::obs
+
+// Convenience: time the rest of the enclosing scope under `name`. Expands
+// to a uniquely named local so several can coexist in one function.
+#define DRCSHAP_OBS_CONCAT_INNER(a, b) a##b
+#define DRCSHAP_OBS_CONCAT(a, b) DRCSHAP_OBS_CONCAT_INNER(a, b)
+#define DRCSHAP_OBS_TIMER(name) \
+  ::drcshap::obs::ScopedTimer DRCSHAP_OBS_CONCAT(obs_timer_, __LINE__)(name)

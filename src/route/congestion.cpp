@@ -4,9 +4,12 @@
 #include <cmath>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
+
 namespace drcshap {
 
 CongestionMap CongestionMap::extract(const GridGraph& graph) {
+  DRCSHAP_OBS_TIMER("route/congestion_extract");
   CongestionMap map;
   map.nx_ = graph.nx();
   map.ny_ = graph.ny();

@@ -5,6 +5,7 @@
 #include <limits>
 #include <unordered_set>
 
+#include "obs/registry.hpp"
 #include "route/maze_router.hpp"
 #include "route/pattern_router.hpp"
 #include "util/log.hpp"
@@ -81,6 +82,7 @@ bool touches_overflow(const GridGraph& graph, const RoutePath& path) {
 
 GlobalRouteResult global_route(const Design& design,
                                const GlobalRouterOptions& options) {
+  DRCSHAP_OBS_TIMER("route/global_route");
   GridGraph graph(design);
   const GCellGrid& grid = design.grid();
 
@@ -126,16 +128,22 @@ GlobalRouteResult global_route(const Design& design,
                      return x.length < y.length;
                    });
 
+  obs::counter_add("route/segments", segments.size());
+
   GridGraph& g = result.graph;
-  for (const Segment& s : segments) {
-    RoutePath path = pattern_route(g, s.a, s.b, options.cost);
-    commit(g, path);
-    result.routes[s.net].segments[s.seg_index] = std::move(path);
+  {
+    DRCSHAP_OBS_TIMER("route/pattern_route");
+    for (const Segment& s : segments) {
+      RoutePath path = pattern_route(g, s.a, s.b, options.cost);
+      commit(g, path);
+      result.routes[s.net].segments[s.seg_index] = std::move(path);
+    }
   }
 
   // Negotiated-congestion rip-up-and-reroute.
   MazeRouter maze(g);
   if (options.use_maze) {
+    DRCSHAP_OBS_TIMER("route/ripup_reroute");
     for (int iter = 0; iter < options.max_ripup_iterations; ++iter) {
       if (g.total_edge_overflow() == 0 && g.total_via_overflow() == 0) break;
       ++result.iterations_run;
@@ -174,6 +182,11 @@ GlobalRouteResult global_route(const Design& design,
   result.edge_overflow = g.total_edge_overflow();
   result.via_overflow = g.total_via_overflow();
   result.congestion = CongestionMap::extract(g);
+  obs::counter_add("route/segments_rerouted", result.segments_rerouted);
+  obs::gauge_set("route/edge_overflow",
+                 static_cast<double>(result.edge_overflow));
+  obs::gauge_set("route/via_overflow",
+                 static_cast<double>(result.via_overflow));
   return result;
 }
 

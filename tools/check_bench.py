@@ -1,0 +1,120 @@
+#!/usr/bin/env python3
+"""Perf-regression gate: compare a bench run against the checked-in baseline.
+
+Usage:
+    tools/check_bench.py BENCH_shap.json runreport.json [--tolerance 0.25]
+
+The baseline is google-benchmark JSON (the checked-in BENCH_shap.json). The
+candidate is either:
+  * a drcshap runreport.json (schema_version 1) whose gauges carry
+    "bench/<name>/real_time_ms" and ".../cpu_time_ms" entries written by
+    ObsRecordingReporter, or
+  * raw google-benchmark JSON (--benchmark_out=... format),
+so the gate works both on the observability pipeline and on plain benchmark
+dumps.
+
+Only benchmarks present in BOTH files are compared (CI runs a reduced
+filter), but zero overlap is an error — a silently empty comparison must
+not pass. A benchmark regresses when its time exceeds
+baseline * (1 + tolerance); faster-than-baseline results only warn when
+they are suspiciously fast (more than `tolerance` below baseline), since
+that usually means the baseline is stale.
+
+Exit status: 0 = pass, 1 = regression or no overlap, 2 = usage/IO error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
+
+
+def load_baseline(path: str, metric: str) -> dict[str, float]:
+    """Google-benchmark JSON -> {benchmark name: time in ms}."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    out: dict[str, float] = {}
+    for bench in doc.get("benchmarks", []):
+        if bench.get("run_type", "iteration") != "iteration":
+            continue  # skip aggregate rows (mean/median/stddev)
+        unit = bench.get("time_unit", "ns")
+        out[bench["name"]] = bench[f"{metric}_time"] * TO_MS[unit]
+    return out
+
+
+def load_candidate(path: str, metric: str) -> dict[str, float]:
+    """runreport.json or google-benchmark JSON -> {name: time in ms}."""
+    with open(path, encoding="utf-8") as f:
+        doc = json.load(f)
+    if "benchmarks" in doc:
+        return load_baseline(path, metric)
+    out: dict[str, float] = {}
+    prefix, suffix = "bench/", f"/{metric}_time_ms"
+    for key, value in doc.get("gauges", {}).items():
+        if key.startswith(prefix) and key.endswith(suffix):
+            out[key[len(prefix):-len(suffix)]] = float(value)
+    return out
+
+
+def main() -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("baseline", help="checked-in google-benchmark JSON")
+    parser.add_argument("report", help="runreport.json or benchmark JSON")
+    parser.add_argument("--tolerance", type=float, default=0.25,
+                        help="allowed slowdown fraction (default 0.25)")
+    parser.add_argument("--metric", choices=["real", "cpu"], default="real",
+                        help="which time to gate on; cpu is robust to "
+                             "runner load but meaningless for UseRealTime "
+                             "thread-pool benches (default real)")
+    args = parser.parse_args()
+
+    try:
+        baseline = load_baseline(args.baseline, args.metric)
+        candidate = load_candidate(args.report, args.metric)
+    except (OSError, json.JSONDecodeError, KeyError) as err:
+        print(f"check_bench: cannot load inputs: {err}", file=sys.stderr)
+        return 2
+
+    common = sorted(set(baseline) & set(candidate))
+    if not common:
+        print("check_bench: FAIL — no benchmarks in common between "
+              f"{args.baseline} ({len(baseline)} entries) and "
+              f"{args.report} ({len(candidate)} entries)", file=sys.stderr)
+        return 1
+
+    width = max(len(name) for name in common)
+    regressions = []
+    print(f"{'benchmark':<{width}}  {'baseline':>12}  {'current':>12}  "
+          f"{'ratio':>7}  verdict")
+    for name in common:
+        base_ms, cur_ms = baseline[name], candidate[name]
+        ratio = cur_ms / base_ms if base_ms > 0 else float("inf")
+        if ratio > 1.0 + args.tolerance:
+            verdict = "REGRESSION"
+            regressions.append(name)
+        elif ratio < 1.0 - args.tolerance:
+            verdict = "fast (stale baseline?)"
+        else:
+            verdict = "ok"
+        print(f"{name:<{width}}  {base_ms:>10.3f}ms  {cur_ms:>10.3f}ms  "
+              f"{ratio:>6.2f}x  {verdict}")
+
+    skipped = len(baseline) - len(common)
+    if skipped:
+        print(f"note: {skipped} baseline benchmark(s) absent from the "
+              "report (reduced run) — not compared")
+    if regressions:
+        print(f"check_bench: FAIL — {len(regressions)} regression(s) beyond "
+              f"+{args.tolerance:.0%}: {', '.join(regressions)}",
+              file=sys.stderr)
+        return 1
+    print(f"check_bench: OK — {len(common)} benchmark(s) within "
+          f"+{args.tolerance:.0%} of baseline")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
