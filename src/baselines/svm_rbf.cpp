@@ -2,13 +2,123 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <limits>
 #include <numeric>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
+
+namespace {
+
+// Bounded LRU cache of RBF kernel rows K(x_r, .) over the training matrix.
+// SMO revisits a small working set of rows over and over; the old code paid
+// for that by materializing the full O(n^2) matrix up front. The cache
+// computes a row only on first touch — in parallel on the shared pool, in
+// contiguous j-blocks so each block streams the row-major training matrix
+// while x_r stays hot — and evicts least-recently-used rows beyond the byte
+// budget. Every element k[j] = exp(-gamma * max(0, |x_r|^2 + |x_j|^2 -
+// 2<x_r,x_j>)) is computed independently with a fixed expression order, so
+// rows are bit-identical for any thread count (and to the old full-matrix
+// build).
+class RbfKernelCache {
+ public:
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  RbfKernelCache(const float* x, std::size_t n, std::size_t d,
+                 const double* sq_norm, double gamma, std::size_t max_rows,
+                 std::size_t n_threads)
+      : x_(x),
+        n_(n),
+        d_(d),
+        sq_norm_(sq_norm),
+        gamma_(gamma),
+        n_threads_(n_threads),
+        n_slots_(std::min(std::max<std::size_t>(2, max_rows), n)),
+        storage_(n_slots_ * n),
+        slot_row_(n_slots_, kNone),
+        slot_stamp_(n_slots_, 0),
+        row_slot_(n, kNone) {}
+
+  /// Rows i and j, both valid until the next call (j's slot is never chosen
+  /// as the eviction victim while row i loads, and vice versa).
+  std::pair<const float*, const float*> rows(std::size_t i, std::size_t j) {
+    const float* ri = row(i, j);
+    const float* rj = row(j, i);
+    return {ri, rj};
+  }
+
+  std::uint64_t rows_computed() const { return rows_computed_; }
+  std::uint64_t row_hits() const { return row_hits_; }
+
+ private:
+  const float* row(std::size_t r, std::size_t pinned_row) {
+    if (row_slot_[r] != kNone) {
+      ++row_hits_;
+      const std::size_t slot = row_slot_[r];
+      slot_stamp_[slot] = ++clock_;
+      return storage_.data() + slot * n_;
+    }
+    // Evict the least-recently-used slot that does not hold the pinned row
+    // (n_slots_ >= 2 guarantees a victim exists).
+    std::size_t victim = kNone;
+    for (std::size_t s = 0; s < n_slots_; ++s) {
+      if (slot_row_[s] == pinned_row) continue;
+      if (victim == kNone || slot_stamp_[s] < slot_stamp_[victim]) victim = s;
+    }
+    if (slot_row_[victim] != kNone) row_slot_[slot_row_[victim]] = kNone;
+    slot_row_[victim] = r;
+    row_slot_[r] = victim;
+    slot_stamp_[victim] = ++clock_;
+    float* dst = storage_.data() + victim * n_;
+    compute_row(r, dst);
+    ++rows_computed_;
+    return dst;
+  }
+
+  void compute_row(std::size_t r, float* dst) {
+    const float* xr = x_ + r * d_;
+    const double sq_r = sq_norm_[r];
+    parallel_for_shared(
+        n_,
+        [&](std::size_t j) {
+          const float* xj = x_ + j * d_;
+          double dot = 0.0;
+          for (std::size_t f = 0; f < d_; ++f) {
+            dot += static_cast<double>(xr[f]) * xj[f];
+          }
+          const double dist_sq = sq_r + sq_norm_[j] - 2.0 * dot;
+          dst[j] = static_cast<float>(
+              std::exp(-gamma_ * std::max(0.0, dist_sq)));
+        },
+        n_threads_, /*grain=*/kRowBlock);
+    dst[r] = 1.0f;
+  }
+
+  /// j-block per work unit: 64 rows x 387 features x 4 B ~ 100 KB streams
+  /// through L2 while x_r stays in L1.
+  static constexpr std::size_t kRowBlock = 64;
+
+  const float* x_;
+  std::size_t n_, d_;
+  const double* sq_norm_;
+  double gamma_;
+  std::size_t n_threads_;
+  std::size_t n_slots_;
+  std::vector<float> storage_;
+  std::vector<std::size_t> slot_row_;    ///< slot -> cached row id (or kNone)
+  std::vector<std::uint64_t> slot_stamp_;  ///< slot -> last-touch clock
+  std::vector<std::size_t> row_slot_;    ///< row id -> slot (or kNone)
+  std::uint64_t clock_ = 0;
+  std::uint64_t rows_computed_ = 0;
+  std::uint64_t row_hits_ = 0;
+};
+
+}  // namespace
 
 SvmRbfClassifier::SvmRbfClassifier(SvmRbfOptions options) : options_(options) {
   if (options_.C <= 0.0) throw std::invalid_argument("SVM: C must be > 0");
@@ -19,6 +129,7 @@ void SvmRbfClassifier::fit(const Dataset& data) {
   if (data.n_positives() == 0 || data.n_positives() == data.n_rows()) {
     throw std::invalid_argument("SVM: training data needs both classes");
   }
+  DRCSHAP_OBS_TIMER("svm/fit");
   n_features_ = data.n_features();
   Rng rng(options_.seed);
 
@@ -70,7 +181,10 @@ void SvmRbfClassifier::fit(const Dataset& data) {
     gamma_used_ = 1.0 / (static_cast<double>(n_features_) * var);
   }
 
-  // --- kernel matrix ------------------------------------------------------
+  // --- kernel row cache ---------------------------------------------------
+  // Rows are computed lazily (parallel, blocked) and kept under an LRU
+  // budget instead of materializing the O(n^2) matrix up front: SMO only
+  // ever touches the rows of its working set.
   std::vector<double> sq_norm(n, 0.0);
   for (std::size_t i = 0; i < n; ++i) {
     const float* xi = x.data() + i * n_features_;
@@ -78,23 +192,10 @@ void SvmRbfClassifier::fit(const Dataset& data) {
       sq_norm[i] += static_cast<double>(xi[f]) * xi[f];
     }
   }
-  std::vector<float> kernel(n * n);
-  for (std::size_t i = 0; i < n; ++i) {
-    const float* xi = x.data() + i * n_features_;
-    kernel[i * n + i] = 1.0f;
-    for (std::size_t j = i + 1; j < n; ++j) {
-      const float* xj = x.data() + j * n_features_;
-      double dot = 0.0;
-      for (std::size_t f = 0; f < n_features_; ++f) {
-        dot += static_cast<double>(xi[f]) * xj[f];
-      }
-      const double dist_sq = sq_norm[i] + sq_norm[j] - 2.0 * dot;
-      const float k = static_cast<float>(
-          std::exp(-gamma_used_ * std::max(0.0, dist_sq)));
-      kernel[i * n + j] = k;
-      kernel[j * n + i] = k;
-    }
-  }
+  const std::size_t cache_rows = std::max<std::size_t>(
+      2, (options_.kernel_cache_mb << 20) / (n * sizeof(float)));
+  RbfKernelCache cache(x.data(), n, n_features_, sq_norm.data(), gamma_used_,
+                       cache_rows, options_.n_threads);
 
   // --- SMO ----------------------------------------------------------------
   const double w_pos =
@@ -132,8 +233,7 @@ void SvmRbfClassifier::fit(const Dataset& data) {
     if (i_up == n || i_low == n || m_up - m_low < options_.tolerance) break;
 
     const std::size_t i = i_up, j = i_low;
-    const float* ki = kernel.data() + i * n;
-    const float* kj = kernel.data() + j * n;
+    const auto [ki, kj] = cache.rows(i, j);
     double a = static_cast<double>(ki[i]) + kj[j] - 2.0 * ki[j];
     if (a <= 0.0) a = 1e-12;
     const double b = m_up - m_low;
@@ -194,8 +294,11 @@ void SvmRbfClassifier::fit(const Dataset& data) {
   if (sv_coef_.empty()) {
     throw std::runtime_error("SVM: optimization produced no support vectors");
   }
+  obs::counter_add("svm/kernel_rows_computed", cache.rows_computed());
+  obs::counter_add("svm/kernel_row_hits", cache.row_hits());
   log_debug("SVM fit: ", n, " samples, ", sv_coef_.size(), " SVs, ",
-            iterations_used_, " SMO steps");
+            iterations_used_, " SMO steps, ", cache.rows_computed(),
+            " kernel rows computed, ", cache.row_hits(), " cache hits");
 }
 
 double SvmRbfClassifier::decision_value(std::span<const float> features) const {

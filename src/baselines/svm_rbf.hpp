@@ -6,9 +6,12 @@
 // implementation reproduces (every support vector contributes ~3*d ops per
 // prediction).
 //
-// Like those prior works (and to keep the quadratic kernel matrix tractable),
+// Like those prior works (and to keep the quadratic SMO problem tractable),
 // training undersamples the majority class down to `max_training_samples`
-// while keeping all positives.
+// while keeping all positives. Kernel rows are not materialized as a full
+// O(n^2) matrix: they are computed on first touch — in parallel on the
+// shared thread pool — and held in a bounded LRU row cache, so SMO pays
+// only for the rows its working set actually visits.
 
 #include <cstdint>
 
@@ -28,6 +31,12 @@ struct SvmRbfOptions {
   /// Extra box-constraint weight on the positive class; 0 = auto (neg/pos).
   double positive_weight = 0.0;
   std::uint64_t seed = 13;
+  /// Byte budget (in MiB) for the LRU cache of RBF kernel rows; rows beyond
+  /// it are recomputed on demand. Results are identical for any budget.
+  std::size_t kernel_cache_mb = 32;
+  /// Cap on shared-pool workers for kernel-row computation (0 = whole pool,
+  /// 1 = serial); results are bit-identical at any thread count.
+  std::size_t n_threads = 0;
 };
 
 class SvmRbfClassifier final : public BinaryClassifier {

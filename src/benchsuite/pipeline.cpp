@@ -1,10 +1,13 @@
 #include "benchsuite/pipeline.hpp"
 
+#include <optional>
+
 #include "features/labeler.hpp"
 #include "obs/registry.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
@@ -53,12 +56,25 @@ DesignRun run_pipeline(const BenchmarkSpec& spec,
 
 Dataset build_suite_dataset(
     const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
-    const std::function<void(const DesignRun&)>& on_design) {
+    const std::function<void(const DesignRun&)>& on_design,
+    std::size_t n_threads) {
+  DRCSHAP_OBS_TIMER("pipeline/build_suite");
+  // Designs fan out across the shared pool (each run_pipeline is seeded per
+  // spec, so runs are order-independent); the results are appended — and
+  // on_design observed — in spec order on this thread, so the Dataset is
+  // bit-identical to the serial build and the callback needs no locking.
+  std::vector<std::optional<DesignRun>> runs(specs.size());
+  parallel_for_shared(
+      specs.size(),
+      [&](std::size_t d) {
+        runs[d].emplace(run_pipeline(specs[d], options, static_cast<int>(d)));
+      },
+      n_threads, /*grain=*/1);
   Dataset all(FeatureSchema::kNumFeatures, FeatureSchema::names());
   for (std::size_t d = 0; d < specs.size(); ++d) {
-    DesignRun run = run_pipeline(specs[d], options, static_cast<int>(d));
-    all.append(run.samples);
-    if (on_design) on_design(run);
+    all.append(runs[d]->samples);
+    if (on_design) on_design(*runs[d]);
+    runs[d].reset();  // free the heavy Design/congestion state eagerly
   }
   return all;
 }

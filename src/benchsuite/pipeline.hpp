@@ -43,10 +43,15 @@ DesignRun run_pipeline(const BenchmarkSpec& spec,
                        const PipelineOptions& options = {}, int group_id = -1);
 
 /// Runs the pipeline for every design in `specs` (group = design index into
-/// `specs`) and concatenates the samples. `on_design` (optional) observes
-/// each DesignRun as it completes, e.g. to collect Table I statistics.
+/// `specs`) and concatenates the samples. Designs run in parallel on the
+/// shared thread pool (`n_threads` caps the workers; 0 = whole pool, 1 =
+/// serial) but samples are appended in spec order, so the result is
+/// bit-identical to a serial build at any thread count. `on_design`
+/// (optional) observes each DesignRun, always from the calling thread and
+/// in spec order, e.g. to collect Table I statistics.
 Dataset build_suite_dataset(
     const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
-    const std::function<void(const DesignRun&)>& on_design = nullptr);
+    const std::function<void(const DesignRun&)>& on_design = nullptr,
+    std::size_t n_threads = 0);
 
 }  // namespace drcshap

@@ -48,12 +48,7 @@ void RandomForestClassifier::fit(const Dataset& data) {
     trees_[t].fit_binned(binned, data, rows, tree_options);
   };
 
-  if (options_.n_threads == 1) {
-    for (std::size_t t = 0; t < trees_.size(); ++t) build_tree(t);
-  } else {
-    ThreadPool pool(options_.n_threads);
-    pool.parallel_for(trees_.size(), build_tree);
-  }
+  parallel_for_shared(trees_.size(), build_tree, options_.n_threads);
   flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
 }
 
@@ -77,15 +72,10 @@ std::vector<double> RandomForestClassifier::predict_proba_all(
   std::vector<double> out(data.n_rows());
   if (out.empty()) return out;
   const FlatForest& flat = *flat_;
-  auto score_row = [&](std::size_t i) {
-    out[i] = flat.predict(data.row(i).data());
-  };
-  if (options_.n_threads == 1 || data.n_rows() == 1) {
-    for (std::size_t i = 0; i < out.size(); ++i) score_row(i);
-  } else {
-    ThreadPool pool(options_.n_threads);
-    pool.parallel_for(out.size(), score_row);
-  }
+  parallel_for_shared(
+      out.size(),
+      [&](std::size_t i) { out[i] = flat.predict(data.row(i).data()); },
+      options_.n_threads);
   return out;
 }
 

@@ -25,7 +25,10 @@ struct RandomForestOptions {
   bool bootstrap = true;
   double positive_weight = 1.0; ///< class weight on hotspots
   std::uint64_t seed = 42;
-  std::size_t n_threads = 0;    ///< 0 = hardware concurrency
+  /// Cap on shared-pool workers for fit/predict (0 = whole pool, 1 =
+  /// serial); nested inside an outer parallel region the work runs serial
+  /// regardless.
+  std::size_t n_threads = 0;
 };
 
 class RandomForestClassifier final : public BinaryClassifier {
@@ -35,10 +38,10 @@ class RandomForestClassifier final : public BinaryClassifier {
   void fit(const Dataset& data) override;
   double predict_proba(std::span<const float> features) const override;
 
-  /// Batched scoring: rows fan out across the thread pool (options().n_threads
-  /// workers), each accumulating its trees in fixed order, so the result is
-  /// identical to the per-row loop for any thread count. Cross-validation and
-  /// grid search call this on every fold.
+  /// Batched scoring: rows fan out across the shared thread pool (capped at
+  /// options().n_threads workers), each accumulating its trees in fixed
+  /// order, so the result is identical to the per-row loop for any thread
+  /// count. Cross-validation and grid search call this on every fold.
   std::vector<double> predict_proba_all(const Dataset& data) const override;
 
   std::size_t n_parameters() const override;

@@ -262,11 +262,13 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   const int stride = flat.max_depth() + 2;
   const std::size_t scratch_len = path_scratch_len(flat);
 
-  ThreadPool pool(n_threads);
+  ThreadPool& pool = ThreadPool::global();
+  // One scratch slot per shared-pool worker. Ranges may also run inline on
+  // the calling thread (worker index -1 when it is not a pool worker), but
+  // only when nothing was submitted — a serial-degraded nested call runs
+  // entirely on its outer worker, and a top-level inline run has no workers
+  // active in this call — so a slot is never contended within one call.
   std::vector<std::vector<PathElement>> scratch(pool.size());
-  // Chunks may run inline on the calling thread (worker index -1, or an
-  // index from some other pool), but only when the range is a single chunk
-  // and no task was submitted, so slot 0 is never contended then.
   auto worker_path = [&]() -> PathElement* {
     const int w = ThreadPool::current_worker_index();
     const std::size_t slot =
@@ -281,15 +283,18 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   if (n_blocks == 1) {
     // Small ensemble: one work unit per sample writes its output row
     // directly, accumulating trees in fixed order.
-    pool.parallel_for(n_rows, [&](std::size_t s) {
-      PathElement* path = worker_path();
-      const float* x = features.data() + s * n_features;
-      double* phi = out.values.data() + s * n_features;
-      for (std::size_t t = 0; t < n_trees; ++t) {
-        flat_tree_shap(flat, t, x, phi, path, stride);
-      }
-      for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
-    });
+    pool.parallel_for(
+        n_rows,
+        [&](std::size_t s) {
+          PathElement* path = worker_path();
+          const float* x = features.data() + s * n_features;
+          double* phi = out.values.data() + s * n_features;
+          for (std::size_t t = 0; t < n_trees; ++t) {
+            flat_tree_shap(flat, t, x, phi, path, stride);
+          }
+          for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
+        },
+        /*grain=*/0, /*max_workers=*/n_threads);
     return out;
   }
 
@@ -304,27 +309,34 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
               partial.begin() +
                   static_cast<std::ptrdiff_t>(count * n_blocks * n_features),
               0.0);
-    pool.parallel_for(count * n_blocks, [&](std::size_t unit) {
-      const std::size_t local = unit / n_blocks;
-      const std::size_t block = unit % n_blocks;
-      PathElement* path = worker_path();
-      const float* x = features.data() + (begin + local) * n_features;
-      double* phi = partial.data() + (local * n_blocks + block) * n_features;
-      const std::size_t t_begin = block * kTreesPerBlock;
-      const std::size_t t_end = std::min(n_trees, t_begin + kTreesPerBlock);
-      for (std::size_t t = t_begin; t < t_end; ++t) {
-        flat_tree_shap(flat, t, x, phi, path, stride);
-      }
-    });
-    pool.parallel_for(count, [&](std::size_t local) {
-      double* dst = out.values.data() + (begin + local) * n_features;
-      for (std::size_t block = 0; block < n_blocks; ++block) {
-        const double* src =
-            partial.data() + (local * n_blocks + block) * n_features;
-        for (std::size_t f = 0; f < n_features; ++f) dst[f] += src[f];
-      }
-      for (std::size_t f = 0; f < n_features; ++f) dst[f] *= inv;
-    });
+    pool.parallel_for(
+        count * n_blocks,
+        [&](std::size_t unit) {
+          const std::size_t local = unit / n_blocks;
+          const std::size_t block = unit % n_blocks;
+          PathElement* path = worker_path();
+          const float* x = features.data() + (begin + local) * n_features;
+          double* phi =
+              partial.data() + (local * n_blocks + block) * n_features;
+          const std::size_t t_begin = block * kTreesPerBlock;
+          const std::size_t t_end = std::min(n_trees, t_begin + kTreesPerBlock);
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            flat_tree_shap(flat, t, x, phi, path, stride);
+          }
+        },
+        /*grain=*/0, /*max_workers=*/n_threads);
+    pool.parallel_for(
+        count,
+        [&](std::size_t local) {
+          double* dst = out.values.data() + (begin + local) * n_features;
+          for (std::size_t block = 0; block < n_blocks; ++block) {
+            const double* src =
+                partial.data() + (local * n_blocks + block) * n_features;
+            for (std::size_t f = 0; f < n_features; ++f) dst[f] += src[f];
+          }
+          for (std::size_t f = 0; f < n_features; ++f) dst[f] *= inv;
+        },
+        /*grain=*/0, /*max_workers=*/n_threads);
   }
   return out;
 }

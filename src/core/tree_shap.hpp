@@ -54,8 +54,9 @@ class TreeShapExplainer {
   /// up to floating-point error.
   std::vector<double> shap_values(std::span<const float> features) const;
 
-  /// SHAP values for every row of `data`, computed on the thread pool
-  /// (n_threads == 0 means hardware concurrency). Matches shap_values row
+  /// SHAP values for every row of `data`, computed on the shared thread
+  /// pool (n_threads caps the workers used; 0 means the whole pool).
+  /// Matches shap_values row
   /// by row up to reassociation error (< 1e-12 here), and is bit-identical
   /// across thread counts.
   ShapMatrix shap_values_batch(const Dataset& data,

@@ -4,39 +4,64 @@
 #include <stdexcept>
 
 #include "ml/metrics.hpp"
+#include "obs/registry.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
 CrossValResult grouped_cross_validate(const ModelFactory& factory,
                                       const Dataset& data,
-                                      std::span<const int> train_groups) {
+                                      std::span<const int> train_groups,
+                                      std::size_t n_threads) {
   if (train_groups.size() < 2) {
     throw std::invalid_argument(
         "grouped_cross_validate: need >= 2 training groups");
   }
+  DRCSHAP_OBS_TIMER("cv/run");
+  // Folds fan out across the shared pool; each fold's fit/predict degrades
+  // to serial inside its worker (nesting budget), and fold scores land in
+  // per-fold slots aggregated below in train_groups order, so the result is
+  // bit-identical to the serial loop at any thread count.
+  struct FoldOutcome {
+    double score = 0.0;
+    bool scored = false;
+  };
+  std::vector<FoldOutcome> folds(train_groups.size());
+  parallel_for_shared(
+      train_groups.size(),
+      [&](std::size_t f) {
+        DRCSHAP_OBS_TIMER("cv/fold");
+        obs::counter_add("cv/folds");
+        const int held_out = train_groups[f];
+        std::vector<int> fit_groups;
+        for (const int g : train_groups) {
+          if (g != held_out) fit_groups.push_back(g);
+        }
+        const std::vector<int> held{held_out};
+        const Dataset train = data.subset(data.rows_in_groups(fit_groups));
+        const Dataset valid = data.subset(data.rows_in_groups(held));
+        if (valid.n_positives() == 0 || train.n_positives() == 0) {
+          obs::counter_add("cv/folds_skipped");
+          log_debug("CV fold (group ", held_out, ") skipped: one-class split");
+          return;
+        }
+        auto model = factory();
+        model->fit(train);
+        const std::vector<double> scores = model->predict_proba_all(valid);
+        const double score = auprc(scores, valid.labels());
+        if (std::isnan(score)) return;
+        folds[f] = {score, true};
+      },
+      n_threads, /*grain=*/1);
+
   CrossValResult result;
   double total = 0.0;
   std::size_t scored = 0;
-  for (const int held_out : train_groups) {
-    std::vector<int> fit_groups;
-    for (const int g : train_groups) {
-      if (g != held_out) fit_groups.push_back(g);
-    }
-    const std::vector<int> held{held_out};
-    const Dataset train = data.subset(data.rows_in_groups(fit_groups));
-    const Dataset valid = data.subset(data.rows_in_groups(held));
-    if (valid.n_positives() == 0 || train.n_positives() == 0) {
-      log_debug("CV fold (group ", held_out, ") skipped: one-class split");
-      continue;
-    }
-    auto model = factory();
-    model->fit(train);
-    const std::vector<double> scores = model->predict_proba_all(valid);
-    const double score = auprc(scores, valid.labels());
-    if (std::isnan(score)) continue;
-    result.fold_auprc.push_back(score);
-    total += score;
+  for (const FoldOutcome& fold : folds) {
+    if (!fold.scored) continue;
+    result.fold_auprc.push_back(fold.score);
+    total += fold.score;
     ++scored;
   }
   if (scored == 0) {

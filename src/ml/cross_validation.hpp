@@ -12,7 +12,9 @@
 
 namespace drcshap {
 
-/// Builds a fresh, untrained model.
+/// Builds a fresh, untrained model. Folds may run concurrently, so the
+/// factory must be callable from several threads at once (stateless or
+/// read-only captures — every factory in this repo qualifies).
 using ModelFactory = std::function<std::unique_ptr<BinaryClassifier>()>;
 
 struct CrossValResult {
@@ -24,8 +26,15 @@ struct CrossValResult {
 /// train_groups, fit on the other groups' rows and score AUPRC on g's rows.
 /// Folds whose validation split has no positive sample are skipped (their
 /// AUPRC is undefined); at least one scorable fold is required.
+///
+/// Folds run in parallel on the shared thread pool (`n_threads` caps the
+/// workers; 0 = whole pool, 1 = serial) with each fold's model fit degraded
+/// to serial inside its worker; fold scores are aggregated in train_groups
+/// order, so fold_auprc and mean_auprc are bit-identical to the serial path
+/// at any thread count.
 CrossValResult grouped_cross_validate(const ModelFactory& factory,
                                       const Dataset& data,
-                                      std::span<const int> train_groups);
+                                      std::span<const int> train_groups,
+                                      std::size_t n_threads = 0);
 
 }  // namespace drcshap

@@ -3,7 +3,9 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/registry.hpp"
 #include "util/log.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
@@ -32,18 +34,43 @@ std::vector<ParamSet> expand_grid(
 GridSearchResult grid_search(
     const ParamModelFactory& factory, const Dataset& data,
     std::span<const int> train_groups,
-    const std::map<std::string, std::vector<double>>& grid) {
+    const std::map<std::string, std::vector<double>>& grid,
+    std::size_t n_threads) {
+  DRCSHAP_OBS_TIMER("grid/run");
+  const std::vector<ParamSet> candidates = expand_grid(grid);
+  // Candidates fan out across the shared pool; the CV inside each candidate
+  // degrades to serial folds on its worker (nesting budget). Scores land in
+  // per-candidate slots and the winner is picked by a strict-improvement
+  // scan in grid order below, so best_params/best_score match the serial
+  // loop bit for bit at any thread count.
+  std::vector<double> scores(candidates.size(), 0.0);
+  parallel_for_shared(
+      candidates.size(),
+      [&](std::size_t c) {
+        DRCSHAP_OBS_TIMER("grid/candidate");
+        obs::counter_add("grid/candidates");
+        // The worker cap is passed through so n_threads bounds the whole
+        // search subtree (folds included), not just the candidate loop.
+        scores[c] =
+            grouped_cross_validate([&] { return factory(candidates[c]); },
+                                   data, train_groups, n_threads)
+                .mean_auprc;
+        log_debug("grid candidate ", c + 1, "/", candidates.size(),
+                  " finished");
+      },
+      n_threads, /*grain=*/1);
+
   GridSearchResult result;
-  bool first = true;
-  for (const ParamSet& params : expand_grid(grid)) {
-    const CrossValResult cv = grouped_cross_validate(
-        [&] { return factory(params); }, data, train_groups);
-    log_debug("grid point ", to_string(params), " -> AUPRC ", cv.mean_auprc);
-    result.evaluations.emplace_back(params, cv.mean_auprc);
-    if (first || cv.mean_auprc > result.best_score) {
-      result.best_score = cv.mean_auprc;
-      result.best_params = params;
-      first = false;
+  result.evaluations.reserve(candidates.size());
+  for (std::size_t c = 0; c < candidates.size(); ++c) {
+    // One line per candidate, emitted in grid order regardless of which
+    // worker finished first, so logs stay deterministic under parallelism.
+    log_info("grid [", c + 1, "/", candidates.size(), "] ",
+             to_string(candidates[c]), " -> mean AUPRC ", scores[c]);
+    result.evaluations.emplace_back(candidates[c], scores[c]);
+    if (c == 0 || scores[c] > result.best_score) {
+      result.best_score = scores[c];
+      result.best_params = candidates[c];
     }
   }
   return result;

@@ -30,11 +30,18 @@ struct GridSearchResult {
 };
 
 /// Evaluates every grid point with grouped CV on `train_groups` and returns
-/// the best (ties: first in grid order).
-GridSearchResult grid_search(const ParamModelFactory& factory,
-                             const Dataset& data,
-                             std::span<const int> train_groups,
-                             const std::map<std::string, std::vector<double>>& grid);
+/// the best (ties: first in grid order). Candidates run in parallel on the
+/// shared thread pool; `n_threads` caps the workers for the whole search
+/// subtree — it is passed through to each candidate's cross-validation —
+/// (0 = whole pool, 1 = fully serial).
+/// Evaluations, logging and the winner are produced in grid order,
+/// so results are bit-identical to the serial path at any thread count. The
+/// factory must be callable concurrently (see ModelFactory).
+GridSearchResult grid_search(
+    const ParamModelFactory& factory, const Dataset& data,
+    std::span<const int> train_groups,
+    const std::map<std::string, std::vector<double>>& grid,
+    std::size_t n_threads = 0);
 
 /// Formats a ParamSet like "{trees=150, mtry=20}" for logs and reports.
 std::string to_string(const ParamSet& params);

@@ -1,11 +1,24 @@
 #include "util/thread_pool.hpp"
 
 #include <algorithm>
+#include <atomic>
+#include <cstdlib>
+#include <memory>
 
 namespace drcshap {
 
 namespace {
+
 thread_local int tl_worker_index = -1;
+
+std::size_t global_pool_size() {
+  if (const char* env = std::getenv("DRCSHAP_THREADS")) {
+    const long parsed = std::strtol(env, nullptr, 10);
+    if (parsed > 0) return static_cast<std::size_t>(parsed);
+  }
+  return std::max<std::size_t>(2, std::thread::hardware_concurrency());
+}
+
 }  // namespace
 
 ThreadPool::ThreadPool(std::size_t n_threads) {
@@ -27,6 +40,11 @@ ThreadPool::~ThreadPool() {
   for (auto& w : workers_) w.join();
 }
 
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(global_pool_size());
+  return pool;
+}
+
 std::future<void> ThreadPool::submit(std::function<void()> task) {
   std::packaged_task<void()> packaged(std::move(task));
   auto future = packaged.get_future();
@@ -40,10 +58,16 @@ std::future<void> ThreadPool::submit(std::function<void()> task) {
 
 void ThreadPool::parallel_for(std::size_t n,
                               const std::function<void(std::size_t)>& fn,
-                              std::size_t grain) {
+                              std::size_t grain, std::size_t max_workers) {
   if (n == 0) return;
+  std::size_t width = size();
+  if (max_workers != 0) width = std::min(width, max_workers);
+  if (width <= 1 || in_parallel_region()) {
+    for (std::size_t i = 0; i < n; ++i) fn(i);
+    return;
+  }
   if (grain == 0) {
-    const std::size_t target_chunks = 4 * size();
+    const std::size_t target_chunks = 4 * width;
     grain = std::max<std::size_t>(1, (n + target_chunks - 1) / target_chunks);
   }
   const std::size_t n_chunks = (n + grain - 1) / grain;
@@ -51,13 +75,22 @@ void ThreadPool::parallel_for(std::size_t n,
     for (std::size_t i = 0; i < n; ++i) fn(i);
     return;
   }
+  // Strip-mining: `strips` pool tasks pull chunks off a shared cursor. Any
+  // schedule computes every index exactly once into its own slot, so results
+  // cannot depend on which worker claims which chunk.
+  const std::size_t strips = std::min(width, n_chunks);
+  auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
   std::vector<std::future<void>> futures;
-  futures.reserve(n_chunks);
-  for (std::size_t c = 0; c < n_chunks; ++c) {
-    const std::size_t begin = c * grain;
-    const std::size_t end = std::min(n, begin + grain);
-    futures.push_back(submit([&fn, begin, end] {
-      for (std::size_t i = begin; i < end; ++i) fn(i);
+  futures.reserve(strips);
+  for (std::size_t s = 0; s < strips; ++s) {
+    futures.push_back(submit([&fn, cursor, grain, n, n_chunks] {
+      for (;;) {
+        const std::size_t c = cursor->fetch_add(1, std::memory_order_relaxed);
+        if (c >= n_chunks) return;
+        const std::size_t begin = c * grain;
+        const std::size_t end = std::min(n, begin + grain);
+        for (std::size_t i = begin; i < end; ++i) fn(i);
+      }
     }));
   }
   for (auto& f : futures) f.get();  // rethrows task exceptions
@@ -78,6 +111,12 @@ void ThreadPool::worker_loop(std::size_t worker_index) {
     }
     task();
   }
+}
+
+void parallel_for_shared(std::size_t n,
+                         const std::function<void(std::size_t)>& fn,
+                         std::size_t n_threads, std::size_t grain) {
+  ThreadPool::global().parallel_for(n, fn, grain, n_threads);
 }
 
 }  // namespace drcshap
