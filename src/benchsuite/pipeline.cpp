@@ -2,7 +2,7 @@
 
 #include <optional>
 
-#include "features/labeler.hpp"
+#include "drc/track_model.hpp"
 #include "obs/registry.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
@@ -26,18 +26,27 @@ DesignRun run_pipeline(const BenchmarkSpec& spec,
 
   GlobalRouteResult route = global_route(design, options.router);
 
-  DrcReport drc = run_drc_oracle(design, route.congestion, options.drc);
-
-  const FeatureExtractor extractor(design, route.congestion);
-  Dataset samples(FeatureSchema::kNumFeatures, FeatureSchema::names());
+  // The per-g-cell aggregates feed both the DRC oracle and feature
+  // extraction; compute them once and share (the extractor takes ownership
+  // after the oracle is done reading).
+  std::vector<GCellAggregate> agg;
   {
-    DRCSHAP_OBS_TIMER("features/extract");
-    obs::counter_add("features/rows", design.grid().size());
-    std::vector<float> row(FeatureSchema::kNumFeatures);
-    for (std::size_t cell = 0; cell < design.grid().size(); ++cell) {
-      extractor.extract_into(cell, row);
-      samples.append_row(row, drc.hotspot[cell], group);
-    }
+    DRCSHAP_OBS_TIMER("features/aggregates");
+    agg = compute_gcell_aggregates(design);
+  }
+
+  DrcReport drc = run_drc_oracle(design, route.congestion, agg, options.drc,
+                                 options.n_threads);
+
+  const FeatureExtractor extractor(design, route.congestion, std::move(agg));
+  const std::vector<float> matrix = extractor.extract_all(options.n_threads);
+  Dataset samples(FeatureSchema::kNumFeatures, FeatureSchema::names());
+  for (std::size_t cell = 0; cell < design.grid().size(); ++cell) {
+    samples.append_row(
+        std::span<const float>(
+            matrix.data() + cell * FeatureSchema::kNumFeatures,
+            FeatureSchema::kNumFeatures),
+        drc.hotspot[cell], group);
   }
 
   log_info("pipeline ", spec.name, ": ", design.num_cells(), " cells, ",

@@ -21,6 +21,13 @@ struct PipelineOptions {
   PlacerOptions placer;
   GlobalRouterOptions router;
   DrcOracleOptions drc;
+  /// Worker cap for the intra-design parallel stages (DRC cell scoring and
+  /// feature extraction) of one run_pipeline call: 0 = whole shared pool,
+  /// 1 = serial. Results are bit-identical at any value. Under
+  /// build_suite_dataset the outer per-design loop already owns the pool
+  /// workers and these stages degrade to serial on them, so this knob
+  /// matters for single-design workflows (explaining one hotspot map).
+  std::size_t n_threads = 0;
 };
 
 /// Everything produced for one design.

@@ -5,6 +5,7 @@
 
 #include "obs/registry.hpp"
 #include "util/rng.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
@@ -121,75 +122,115 @@ double drc_difficulty(const Design& design, const TrackModel& track,
   return cause_scores(design, track, agg, cell, options).total();
 }
 
+namespace {
+
+/// Scores one cell and emits its violations into `out` (drawing only from
+/// `cell_rng`); shared between the serial and parallel oracle drivers.
+void emit_cell_violations(const Design& design, const TrackModel& track,
+                          const std::vector<GCellAggregate>& agg,
+                          std::size_t cell, const DrcOracleOptions& options,
+                          double design_effect, Rng& cell_rng,
+                          std::vector<DrcViolation>& out) {
+  const GCellGrid& grid = design.grid();
+  const CauseScores s = cause_scores(design, track, agg, cell, options);
+  const double latent = options.bias + s.total() + design_effect +
+                        cell_rng.normal(0.0, options.noise_sigma);
+  if (!cell_rng.bernoulli(logistic(latent))) return;
+
+  // Violation count grows with how far past the threshold the cell is.
+  const double intensity = std::log1p(std::exp(latent));  // softplus
+  const auto n_violations =
+      1 + cell_rng.poisson(std::min(4.0, 0.5 * intensity));
+
+  const Rect cr = grid.cell_rect(cell);
+  for (std::uint64_t k = 0; k < n_violations; ++k) {
+    // Pick the cause proportional to its score share.
+    const double total = std::max(1e-9, s.total());
+    const double pick = cell_rng.uniform() * total;
+    DrcViolation v;
+    if (pick < s.wire) {
+      v.type = cell_rng.bernoulli(0.7) ? DrcErrorType::kShort
+                                       : DrcErrorType::kDifferentNetSpacing;
+      v.metal_layer = s.worst_wire_metal;
+    } else if (pick < s.wire + s.via) {
+      // Via clusters squeeze the metal layer between the crowded cuts.
+      v.type = cell_rng.bernoulli(0.75) ? DrcErrorType::kEndOfLineSpacing
+                                        : DrcErrorType::kViaEnclosure;
+      v.metal_layer = s.worst_via_layer + 1;
+    } else if (pick < s.wire + s.via + s.pin) {
+      v.type = cell_rng.bernoulli(0.5) ? DrcErrorType::kDifferentNetSpacing
+                                       : DrcErrorType::kShort;
+      v.metal_layer = static_cast<int>(cell_rng.index(2));  // M1/M2 pin level
+    } else {
+      // Macro-driven: error on the first routable layer above the macro.
+      v.type = DrcErrorType::kShort;
+      v.metal_layer =
+          std::min(design.tech().num_metal_layers - 1, s.worst_wire_metal);
+    }
+
+    // Small box inside the cell; ~12% straddle into a neighbor, which makes
+    // multi-g-cell hotspots like the paper's bounding boxes.
+    const double w = cr.width() * cell_rng.uniform(0.05, 0.35);
+    const double h = cr.height() * cell_rng.uniform(0.05, 0.35);
+    double x = cr.x_lo + cell_rng.uniform() * (cr.width() - w);
+    double y = cr.y_lo + cell_rng.uniform() * (cr.height() - h);
+    if (cell_rng.bernoulli(0.12)) {
+      // Shift the box onto the cell border so it spills over.
+      if (cell_rng.bernoulli(0.5)) {
+        x = cell_rng.bernoulli(0.5) ? cr.x_lo - w / 2.0 : cr.x_hi - w / 2.0;
+      } else {
+        y = cell_rng.bernoulli(0.5) ? cr.y_lo - h / 2.0 : cr.y_hi - h / 2.0;
+      }
+    }
+    v.box = Rect{x, y, x + w, y + h}.intersect(design.die());
+    if (v.box.empty()) continue;
+    out.push_back(v);
+  }
+}
+
+}  // namespace
+
 DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
                          const DrcOracleOptions& options) {
+  return run_drc_oracle(design, congestion, compute_gcell_aggregates(design),
+                        options);
+}
+
+DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
+                         const std::vector<GCellAggregate>& aggregates,
+                         const DrcOracleOptions& options,
+                         std::size_t n_threads) {
   DRCSHAP_OBS_TIMER("drc/oracle");
   const GCellGrid& grid = design.grid();
   const TrackModel track(design, congestion);
-  const std::vector<GCellAggregate> agg = compute_gcell_aggregates(design);
 
   Rng rng(options.seed ^ name_hash(design.name()));
   const double design_effect = rng.normal(0.0, options.design_effect_sigma);
 
+  // One fork per cell keeps the stream independent of how many draws each
+  // cell makes (stable labels under parameter tweaks elsewhere). The forks
+  // are drawn serially in cell order — the only order-dependent draws — so
+  // the parallel scoring below consumes exactly the serial streams.
+  std::vector<Rng> cell_rngs;
+  cell_rngs.reserve(grid.size());
+  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
+    cell_rngs.push_back(rng.fork());
+  }
+
+  obs::counter_add("drc/cells_scored", grid.size());
+  std::vector<std::vector<DrcViolation>> per_cell(grid.size());
+  parallel_for_shared(
+      grid.size(),
+      [&](std::size_t cell) {
+        emit_cell_violations(design, track, aggregates, cell, options,
+                             design_effect, cell_rngs[cell], per_cell[cell]);
+      },
+      n_threads);
+
   DrcReport report;
   report.hotspot.assign(grid.size(), 0);
-
   for (std::size_t cell = 0; cell < grid.size(); ++cell) {
-    // One fork per cell keeps the stream independent of how many draws each
-    // cell makes (stable labels under parameter tweaks elsewhere).
-    Rng cell_rng = rng.fork();
-    const CauseScores s = cause_scores(design, track, agg, cell, options);
-    const double latent = options.bias + s.total() + design_effect +
-                          cell_rng.normal(0.0, options.noise_sigma);
-    if (!cell_rng.bernoulli(logistic(latent))) continue;
-
-    // Violation count grows with how far past the threshold the cell is.
-    const double intensity = std::log1p(std::exp(latent));  // softplus
-    const auto n_violations =
-        1 + cell_rng.poisson(std::min(4.0, 0.5 * intensity));
-
-    const Rect cr = grid.cell_rect(cell);
-    for (std::uint64_t k = 0; k < n_violations; ++k) {
-      // Pick the cause proportional to its score share.
-      const double total = std::max(1e-9, s.total());
-      const double pick = cell_rng.uniform() * total;
-      DrcViolation v;
-      if (pick < s.wire) {
-        v.type = cell_rng.bernoulli(0.7) ? DrcErrorType::kShort
-                                         : DrcErrorType::kDifferentNetSpacing;
-        v.metal_layer = s.worst_wire_metal;
-      } else if (pick < s.wire + s.via) {
-        // Via clusters squeeze the metal layer between the crowded cuts.
-        v.type = cell_rng.bernoulli(0.75) ? DrcErrorType::kEndOfLineSpacing
-                                          : DrcErrorType::kViaEnclosure;
-        v.metal_layer = s.worst_via_layer + 1;
-      } else if (pick < s.wire + s.via + s.pin) {
-        v.type = cell_rng.bernoulli(0.5) ? DrcErrorType::kDifferentNetSpacing
-                                         : DrcErrorType::kShort;
-        v.metal_layer = static_cast<int>(cell_rng.index(2));  // M1/M2 pin level
-      } else {
-        // Macro-driven: error on the first routable layer above the macro.
-        v.type = DrcErrorType::kShort;
-        v.metal_layer =
-            std::min(design.tech().num_metal_layers - 1, s.worst_wire_metal);
-      }
-
-      // Small box inside the cell; ~12% straddle into a neighbor, which makes
-      // multi-g-cell hotspots like the paper's bounding boxes.
-      const double w = cr.width() * cell_rng.uniform(0.05, 0.35);
-      const double h = cr.height() * cell_rng.uniform(0.05, 0.35);
-      double x = cr.x_lo + cell_rng.uniform() * (cr.width() - w);
-      double y = cr.y_lo + cell_rng.uniform() * (cr.height() - h);
-      if (cell_rng.bernoulli(0.12)) {
-        // Shift the box onto the cell border so it spills over.
-        if (cell_rng.bernoulli(0.5)) {
-          x = cell_rng.bernoulli(0.5) ? cr.x_lo - w / 2.0 : cr.x_hi - w / 2.0;
-        } else {
-          y = cell_rng.bernoulli(0.5) ? cr.y_lo - h / 2.0 : cr.y_hi - h / 2.0;
-        }
-      }
-      v.box = Rect{x, y, x + w, y + h}.intersect(design.die());
-      if (v.box.empty()) continue;
+    for (DrcViolation& v : per_cell[cell]) {
       report.violations.push_back(v);
     }
   }

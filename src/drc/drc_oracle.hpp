@@ -77,9 +77,23 @@ struct DrcReport {
 
 /// Runs the oracle. Deterministic for fixed (design, congestion, options):
 /// the per-design stream is seeded by options.seed combined with the design
-/// name.
+/// name. Computes the g-cell aggregates itself; callers that already have
+/// them (the pipeline shares one vector with feature extraction) should use
+/// the overload below.
 DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
                          const DrcOracleOptions& options = {});
+
+/// Same oracle over precomputed aggregates. Cells are scored in parallel on
+/// the shared pool (`n_threads` caps the workers; 0 = whole pool, 1 =
+/// serial): the per-cell rng streams are forked serially up front — fork
+/// order is the only order-dependent draw — and each cell then samples only
+/// from its own stream into its own slot, so the violations, hotspot labels
+/// and every random draw are bit-identical to the serial oracle at any
+/// thread count.
+DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
+                         const std::vector<GCellAggregate>& aggregates,
+                         const DrcOracleOptions& options = {},
+                         std::size_t n_threads = 0);
 
 /// The latent difficulty score of one g-cell *excluding* noise terms;
 /// exposed for calibration tools and tests (monotonicity properties).

@@ -3,6 +3,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "util/thread_pool.hpp"
 
 namespace drcshap {
 
@@ -19,7 +20,12 @@ std::vector<GCellAggregate> timed_aggregates(const Design& design) {
 
 FeatureExtractor::FeatureExtractor(const Design& design,
                                    const CongestionMap& congestion)
-    : design_(design), cong_(congestion), agg_(timed_aggregates(design)) {
+    : FeatureExtractor(design, congestion, timed_aggregates(design)) {}
+
+FeatureExtractor::FeatureExtractor(const Design& design,
+                                   const CongestionMap& congestion,
+                                   std::vector<GCellAggregate> aggregates)
+    : design_(design), cong_(congestion), agg_(std::move(aggregates)) {
   if (congestion.nx() != design.grid().nx() ||
       congestion.ny() != design.grid().ny()) {
     throw std::invalid_argument("FeatureExtractor: grid mismatch");
@@ -27,6 +33,9 @@ FeatureExtractor::FeatureExtractor(const Design& design,
   if (congestion.num_metal_layers() != FeatureSchema::kMetalLayers) {
     throw std::invalid_argument(
         "FeatureExtractor: schema expects 5 metal layers");
+  }
+  if (agg_.size() != design.grid().size()) {
+    throw std::invalid_argument("FeatureExtractor: aggregate count mismatch");
   }
 }
 
@@ -121,16 +130,22 @@ std::vector<float> FeatureExtractor::extract(std::size_t cell) const {
   return out;
 }
 
-std::vector<float> FeatureExtractor::extract_all() const {
+std::vector<float> FeatureExtractor::extract_all(std::size_t n_threads) const {
   DRCSHAP_OBS_TIMER("features/extract");
   const std::size_t n = design_.grid().size();
   obs::counter_add("features/rows", n);
   std::vector<float> matrix(n * FeatureSchema::kNumFeatures);
-  for (std::size_t cell = 0; cell < n; ++cell) {
-    extract_into(cell, std::span<float>(
-                            matrix.data() + cell * FeatureSchema::kNumFeatures,
-                            FeatureSchema::kNumFeatures));
-  }
+  // Read-only over the design/congestion/aggregates; every cell writes only
+  // its own row slot, so the parallel fill is byte-identical to serial.
+  parallel_for_shared(
+      n,
+      [&](std::size_t cell) {
+        extract_into(cell,
+                     std::span<float>(
+                         matrix.data() + cell * FeatureSchema::kNumFeatures,
+                         FeatureSchema::kNumFeatures));
+      },
+      n_threads);
   return matrix;
 }
 

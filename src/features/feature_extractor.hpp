@@ -17,7 +17,14 @@ namespace drcshap {
 
 class FeatureExtractor {
  public:
+  /// Computes the per-g-cell aggregates itself.
   FeatureExtractor(const Design& design, const CongestionMap& congestion);
+
+  /// Takes ownership of precomputed aggregates (must be
+  /// compute_gcell_aggregates(design) of the same design) so callers that
+  /// also feed the DRC oracle — the pipeline — compute them only once.
+  FeatureExtractor(const Design& design, const CongestionMap& congestion,
+                   std::vector<GCellAggregate> aggregates);
 
   /// Fills `out` (size must be FeatureSchema::kNumFeatures) with the feature
   /// vector of g-cell `cell`.
@@ -26,8 +33,11 @@ class FeatureExtractor {
   /// Convenience allocating variant.
   std::vector<float> extract(std::size_t cell) const;
 
-  /// Row-major matrix for all g-cells (size() x kNumFeatures).
-  std::vector<float> extract_all() const;
+  /// Row-major matrix for all g-cells (size() x kNumFeatures). Cells are
+  /// extracted in parallel on the shared pool (`n_threads` caps the
+  /// workers; 0 = whole pool, 1 = serial inline); each cell writes only its
+  /// own row, so the matrix is byte-identical at any thread count.
+  std::vector<float> extract_all(std::size_t n_threads = 0) const;
 
   const Design& design() const { return design_; }
 

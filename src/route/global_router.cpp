@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <cmath>
 #include <limits>
-#include <unordered_set>
 
 #include "obs/registry.hpp"
 #include "route/maze_router.hpp"
@@ -15,13 +14,17 @@ namespace drcshap {
 std::vector<std::pair<std::size_t, std::size_t>> decompose_net(
     const Design& design, NetId net_id) {
   const GCellGrid& grid = design.grid();
-  // Distinct g-cells touched by the net's pins, in first-seen order.
+  // Distinct g-cells touched by the net's pins, in first-seen order. A
+  // sorted flat set carries the membership test so high-fanout nets pay
+  // O(log k) lookups instead of the former O(k) linear find per pin.
   std::vector<std::size_t> cells;
+  std::vector<std::size_t> seen;  // sorted
   for (const PinId p : design.net(net_id).pins) {
     const std::size_t cell = grid.locate(design.pin(p).position);
-    if (std::find(cells.begin(), cells.end(), cell) == cells.end()) {
-      cells.push_back(cell);
-    }
+    const auto it = std::lower_bound(seen.begin(), seen.end(), cell);
+    if (it != seen.end() && *it == cell) continue;
+    seen.insert(it, cell);
+    cells.push_back(cell);
   }
   std::vector<std::pair<std::size_t, std::size_t>> segments;
   if (cells.size() < 2) return segments;
@@ -88,12 +91,18 @@ GlobalRouteResult global_route(const Design& design,
 
   // Pin-access demand: each net adds one V1 via per distinct g-cell its pins
   // occupy (the connection from the pin level into the routing fabric).
-  for (NetId n = 0; n < design.num_nets(); ++n) {
-    std::unordered_set<std::size_t> cells;
-    for (const PinId p : design.net(n).pins) {
-      cells.insert(grid.locate(design.pin(p).position));
+  {
+    std::vector<std::size_t> pin_cells;
+    for (NetId n = 0; n < design.num_nets(); ++n) {
+      pin_cells.clear();
+      for (const PinId p : design.net(n).pins) {
+        pin_cells.push_back(grid.locate(design.pin(p).position));
+      }
+      std::sort(pin_cells.begin(), pin_cells.end());
+      pin_cells.erase(std::unique(pin_cells.begin(), pin_cells.end()),
+                      pin_cells.end());
+      for (const std::size_t cell : pin_cells) graph.add_via_load(0, cell, 1);
     }
-    for (const std::size_t cell : cells) graph.add_via_load(0, cell, 1);
   }
 
   // Flatten all nets into 2-pin segments, track which net owns each.
@@ -147,6 +156,7 @@ GlobalRouteResult global_route(const Design& design,
     for (int iter = 0; iter < options.max_ripup_iterations; ++iter) {
       if (g.total_edge_overflow() == 0 && g.total_via_overflow() == 0) break;
       ++result.iterations_run;
+      obs::counter_add("route/ripup_iterations");
 
       // Accumulate history on currently overflowed edges.
       for (std::size_t e = 0; e < g.num_edges(); ++e) {
@@ -170,6 +180,11 @@ GlobalRouteResult global_route(const Design& design,
         // (if not found, recommit the old path)
         commit(g, path);
         ++rerouted;
+        // Once nothing is overflowed (the totals are O(1)), every remaining
+        // segment would fail touches_overflow anyway — stop scanning.
+        if (g.total_edge_overflow() == 0 && g.total_via_overflow() == 0) {
+          break;
+        }
       }
       result.segments_rerouted += rerouted;
       log_debug("global_route iter ", iter, ": rerouted ", rerouted,

@@ -19,14 +19,11 @@ GridGraph::GridGraph(const Design& design)
     edge_offset_[static_cast<std::size_t>(m) + 1] =
         edge_offset_[static_cast<std::size_t>(m)] + count;
   }
-  capacity_.assign(edge_offset_.back(), 0);
-  load_.assign(edge_offset_.back(), 0);
-  history_.assign(edge_offset_.back(), 0.0);
+  edges_.assign(edge_offset_.back(), EdgeState{});
 
   const std::size_t n_vias =
       static_cast<std::size_t>(num_via_layers()) * num_cells();
-  via_capacity_.assign(n_vias, 0);
-  via_load_.assign(n_vias, 0);
+  vias_.assign(n_vias, ViaState{});
 
   apply_capacity_model(design);
 }
@@ -62,8 +59,12 @@ std::optional<EdgeId> GridGraph::edge_low(int metal, std::size_t cell) const {
 }
 
 void GridGraph::add_edge_load(EdgeId e, int delta) {
-  load_.at(e) += delta;
-  if (load_[e] < 0) throw std::logic_error("GridGraph: negative edge load");
+  EdgeState& s = edges_.at(e);
+  const int cap = s.capacity;
+  const int before = s.load > cap ? s.load - cap : 0;
+  s.load += delta;
+  if (s.load < 0) throw std::logic_error("GridGraph: negative edge load");
+  total_edge_overflow_ += (s.load > cap ? s.load - cap : 0) - before;
 }
 
 int GridGraph::edge_metal(EdgeId e) const {
@@ -89,30 +90,19 @@ std::pair<std::size_t, std::size_t> GridGraph::edge_cells(EdgeId e) const {
 }
 
 void GridGraph::add_via_load(int via_layer, std::size_t cell, int delta) {
-  auto& v = via_load_.at(via_index(via_layer, cell));
-  v += delta;
-  if (v < 0) throw std::logic_error("GridGraph: negative via load");
-}
-
-long GridGraph::total_edge_overflow() const {
-  long total = 0;
-  for (std::size_t e = 0; e < capacity_.size(); ++e) {
-    total += std::max(0, load_[e] - capacity_[e]);
-  }
-  return total;
-}
-
-long GridGraph::total_via_overflow() const {
-  long total = 0;
-  for (std::size_t i = 0; i < via_capacity_.size(); ++i) {
-    total += std::max(0, via_load_[i] - via_capacity_[i]);
-  }
-  return total;
+  ViaState& s = vias_.at(via_index(via_layer, cell));
+  const int cap = s.capacity;
+  const int before = s.load > cap ? s.load - cap : 0;
+  s.load += delta;
+  if (s.load < 0) throw std::logic_error("GridGraph: negative via load");
+  total_via_overflow_ += (s.load > cap ? s.load - cap : 0) - before;
 }
 
 void GridGraph::reset_loads() {
-  std::fill(load_.begin(), load_.end(), 0);
-  std::fill(via_load_.begin(), via_load_.end(), 0);
+  for (EdgeState& s : edges_) s.load = 0;
+  for (ViaState& s : vias_) s.load = 0;
+  total_edge_overflow_ = 0;
+  total_via_overflow_ = 0;
 }
 
 std::size_t GridGraph::via_index(int via_layer, std::size_t cell) const {
@@ -166,7 +156,8 @@ void GridGraph::apply_capacity_model(const Design& design) {
         const double dens = 0.5 * (cell_density[a] + cell_density[b]);
         cap *= 1.0 - 0.5 * dens;
       }
-      capacity_[*e] = std::max(0, static_cast<int>(std::floor(cap + 0.5)));
+      edges_[*e].capacity =
+          std::max(0, static_cast<int>(std::floor(cap + 0.5)));
     }
   }
 
@@ -177,7 +168,7 @@ void GridGraph::apply_capacity_model(const Design& design) {
       const double blk = std::max(
           blocked[static_cast<std::size_t>(v) * num_cells() + cell],
           blocked[static_cast<std::size_t>(v + 1) * num_cells() + cell]);
-      via_capacity_[via_index(v, cell)] =
+      vias_[via_index(v, cell)].capacity =
           std::max(0, static_cast<int>(std::floor(base * (1.0 - blk) + 0.5)));
     }
   }

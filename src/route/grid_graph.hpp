@@ -26,6 +26,20 @@ using EdgeId = std::uint32_t;
 /// Direction of a step within a metal layer.
 enum class Dir : std::uint8_t { kEast, kWest, kNorth, kSouth };
 
+/// Routing state of one metal edge, interleaved so a cost evaluation
+/// touches a single cache line instead of three parallel arrays.
+struct EdgeState {
+  int capacity = 0;
+  int load = 0;
+  double history = 0.0;
+};
+
+/// Routing state of one (via layer, g-cell) pair.
+struct ViaState {
+  int capacity = 0;
+  int load = 0;
+};
+
 class GridGraph {
  public:
   /// Builds the graph for `design` and applies the capacity model
@@ -37,7 +51,7 @@ class GridGraph {
   int num_metal_layers() const { return num_metal_; }
   int num_via_layers() const { return num_metal_ - 1; }
   std::size_t num_cells() const { return nx_ * ny_; }
-  std::size_t num_edges() const { return capacity_.size(); }
+  std::size_t num_edges() const { return edges_.size(); }
 
   // --- metal edges ------------------------------------------------------
   /// Edge on layer `metal` between `cell` and its neighbor in direction
@@ -50,13 +64,25 @@ class GridGraph {
   /// vertical layer, to the north neighbor. nullopt at the grid border.
   std::optional<EdgeId> edge_low(int metal, std::size_t cell) const;
 
-  int edge_capacity(EdgeId e) const { return capacity_[e]; }
-  int edge_load(EdgeId e) const { return load_[e]; }
-  double edge_history(EdgeId e) const { return history_[e]; }
-  int edge_overflow(EdgeId e) const { return std::max(0, load_[e] - capacity_[e]); }
+  const EdgeState& edge_state(EdgeId e) const { return edges_[e]; }
+  int edge_capacity(EdgeId e) const { return edges_[e].capacity; }
+  int edge_load(EdgeId e) const { return edges_[e].load; }
+  double edge_history(EdgeId e) const { return edges_[e].history; }
+  int edge_overflow(EdgeId e) const {
+    return std::max(0, edges_[e].load - edges_[e].capacity);
+  }
+
+  /// First edge id of `metal`'s contiguous block. Within the block, edges of
+  /// a horizontal layer are ordered row * (nx - 1) + col of their low (west)
+  /// cell; vertical layers row * nx + col of their low (south) cell. Exposed
+  /// so hot search loops (the maze router) can address neighbor edges
+  /// directly instead of going through the checked `edge()` lookup.
+  EdgeId layer_edge_begin(int metal) const {
+    return static_cast<EdgeId>(edge_offset_[static_cast<std::size_t>(metal)]);
+  }
 
   void add_edge_load(EdgeId e, int delta);
-  void add_edge_history(EdgeId e, double delta) { history_[e] += delta; }
+  void add_edge_history(EdgeId e, double delta) { edges_[e].history += delta; }
 
   /// Metal layer an edge belongs to.
   int edge_metal(EdgeId e) const;
@@ -64,23 +90,28 @@ class GridGraph {
   std::pair<std::size_t, std::size_t> edge_cells(EdgeId e) const;
 
   // --- vias ---------------------------------------------------------------
+  const ViaState& via_state(int via_layer, std::size_t cell) const {
+    return vias_[via_index(via_layer, cell)];
+  }
   int via_capacity(int via_layer, std::size_t cell) const {
-    return via_capacity_[via_index(via_layer, cell)];
+    return vias_[via_index(via_layer, cell)].capacity;
   }
   int via_load(int via_layer, std::size_t cell) const {
-    return via_load_[via_index(via_layer, cell)];
+    return vias_[via_index(via_layer, cell)].load;
   }
   int via_overflow(int via_layer, std::size_t cell) const {
-    const std::size_t i = via_index(via_layer, cell);
-    return std::max(0, via_load_[i] - via_capacity_[i]);
+    const ViaState& s = vias_[via_index(via_layer, cell)];
+    return std::max(0, s.load - s.capacity);
   }
   void add_via_load(int via_layer, std::size_t cell, int delta);
 
   // --- aggregates ---------------------------------------------------------
-  /// Total wire overflow over all metal edges.
-  long total_edge_overflow() const;
-  /// Total via overflow over all (via layer, cell) pairs.
-  long total_via_overflow() const;
+  /// Total wire overflow over all metal edges. O(1): maintained
+  /// incrementally by add_edge_load, so rip-up loops can poll it per
+  /// reroute instead of rescanning every edge.
+  long total_edge_overflow() const { return total_edge_overflow_; }
+  /// Total via overflow over all (via layer, cell) pairs. O(1), see above.
+  long total_via_overflow() const { return total_via_overflow_; }
 
   /// Clears every load (capacities and history are kept).
   void reset_loads();
@@ -97,11 +128,12 @@ class GridGraph {
   int num_metal_;
   GCellGrid grid_;
   std::vector<std::size_t> edge_offset_;  ///< per metal layer
-  std::vector<int> capacity_;
-  std::vector<int> load_;
-  std::vector<double> history_;
-  std::vector<int> via_capacity_;
-  std::vector<int> via_load_;
+  std::vector<EdgeState> edges_;
+  std::vector<ViaState> vias_;
+  // Running totals of positive (load - capacity); updated on every load
+  // change (capacities are fixed after construction).
+  long total_edge_overflow_ = 0;
+  long total_via_overflow_ = 0;
 };
 
 }  // namespace drcshap

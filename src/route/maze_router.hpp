@@ -5,6 +5,15 @@
 // up on overflowed resources are re-routed here with the full cost model
 // (history + overflow penalties), which lets them detour in x, y, and layer.
 // Paths start and terminate on M1 at the endpoint g-cells (pin access).
+//
+// The search state (distance/parent stamps, the open list, the per-cell
+// heuristic cache) is owned by the router and reused across calls, so a
+// rip-up pass issuing tens of thousands of route() calls performs no
+// per-call allocation. The open list is a hand-rolled 4-ary min-heap keyed
+// on (f, node) — the same total order std::priority_queue over
+// (double, size_t) pairs produces — so the expansion sequence, and
+// therefore every routed path, is bit-identical to the previous
+// binary-heap implementation.
 
 #include <cstdint>
 #include <vector>
@@ -30,15 +39,43 @@ class MazeRouter {
                    const RouteCostParams& params);
 
  private:
+  /// Open-list entry, packed into one 128-bit integer that sorts exactly
+  /// like the (f, node) pair: bits 127..64 hold the IEEE-754 pattern of the
+  /// A* key f = g + h (always a non-negative finite double, whose bit
+  /// pattern orders identically to its value), bits 63..32 the node id
+  /// (the tie-breaker), bits 31..0 the node's g-cell. The cell is fully
+  /// determined by the node, so carrying it below the tie-breaker cannot
+  /// change the order; it lets the pop path skip a div/mod. A single
+  /// integer compare replaces the branchy two-double comparator, which is
+  /// what makes the heap cheap — pops were half of all route time before.
+  using OpenKey = unsigned __int128;
+
+  static OpenKey pack(double f, std::uint32_t node, std::uint32_t cell);
+
   std::size_t node_id(int metal, std::size_t cell) const {
     return static_cast<std::size_t>(metal) * g_.num_cells() + cell;
   }
 
+  void heap_push(OpenKey key);
+  OpenKey heap_pop();
+
   const GridGraph& g_;
+  // Node -> coordinate lookup tables, built once per graph; they replace
+  // the four integer div/mods the expansion loop would otherwise pay per
+  // popped node.
+  std::vector<std::uint32_t> cell_of_;
+  std::vector<std::int32_t> metal_of_;
+  std::vector<std::uint32_t> col_of_;
+  std::vector<std::uint32_t> row_of_;
   // Per-node search state, stamped so buffers need no clearing per call.
   std::vector<double> dist_;
   std::vector<std::uint32_t> stamp_;
   std::vector<std::uint32_t> parent_;
+  // Per-cell heuristic cache for the current target, same stamping scheme.
+  std::vector<double> h_cache_;
+  std::vector<std::uint32_t> h_stamp_;
+  // 4-ary min-heap storage, cleared (capacity kept) per call.
+  std::vector<OpenKey> open_;
   std::uint32_t current_stamp_ = 0;
 };
 

@@ -50,9 +50,10 @@ struct RouteCostParams {
 /// Cost of pushing one more wire through metal edge `e`.
 inline double edge_route_cost(const GridGraph& g, EdgeId e,
                               const RouteCostParams& p) {
-  const int cap = g.edge_capacity(e);
-  const int next = g.edge_load(e) + 1;
-  double cost = p.base + p.history_weight * g.edge_history(e);
+  const EdgeState& s = g.edge_state(e);
+  const int cap = s.capacity;
+  const int next = s.load + 1;
+  double cost = p.base + p.history_weight * s.history;
   if (cap <= 0) {
     cost += p.overflow_penalty * next;
   } else if (next > cap) {
@@ -66,8 +67,9 @@ inline double edge_route_cost(const GridGraph& g, EdgeId e,
 /// Cost of pushing one more via through (via layer, cell).
 inline double via_route_cost(const GridGraph& g, int via_layer,
                              std::size_t cell, const RouteCostParams& p) {
-  const int cap = g.via_capacity(via_layer, cell);
-  const int next = g.via_load(via_layer, cell) + 1;
+  const ViaState& s = g.via_state(via_layer, cell);
+  const int cap = s.capacity;
+  const int next = s.load + 1;
   double cost = p.via;
   if (cap <= 0) {
     cost += p.overflow_penalty * next;

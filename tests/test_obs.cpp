@@ -4,6 +4,8 @@
 #include <filesystem>
 #include <thread>
 
+#include "benchsuite/pipeline.hpp"
+#include "benchsuite/suite.hpp"
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
 #include "obs/json.hpp"
@@ -313,6 +315,39 @@ TEST_F(Obs, InstrumentedStagesAppearInSnapshot) {
   EXPECT_EQ(snap.counters.at("forest/rows_scored"), 64u);
   EXPECT_EQ(snap.counters.at("shap/batch_samples"), 64u);
   EXPECT_EQ(snap.counters.at("shap/tree_traversals"), 64u * 5u);
+}
+
+TEST_F(Obs, SubstrateCountersAppearInRunReport) {
+  // The EDA-substrate instrumentation points — maze expansions, rip-up
+  // iterations, DRC cells scored — must populate both the snapshot and a
+  // written run report when a pipeline actually runs. fft_b at scale 16 is
+  // congested enough that the rip-up loop always iterates.
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  PipelineOptions options;
+  options.generator.scale = 16.0;
+  const DesignRun run = run_pipeline(suite_spec("fft_b"), options);
+
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_TRUE(snap.counters.contains("route/maze_expansions"));
+  EXPECT_GT(snap.counters.at("route/maze_expansions"), 0u);
+  ASSERT_TRUE(snap.counters.contains("route/ripup_iterations"));
+  EXPECT_GT(snap.counters.at("route/ripup_iterations"), 0u);
+  ASSERT_TRUE(snap.counters.contains("drc/cells_scored"));
+  EXPECT_EQ(snap.counters.at("drc/cells_scored"),
+            run.design.grid().size());
+
+  const std::string path =
+      (std::filesystem::temp_directory_path() / "drcshap_substrate_obs.json")
+          .string();
+  obs::RunReportOptions report_options;
+  report_options.tool = "test_obs_substrate";
+  obs::write_run_report(path, report_options);
+  const obs::JsonValue report = obs::JsonValue::parse_file(path);
+  for (const char* key : {"route/maze_expansions", "route/ripup_iterations",
+                          "drc/cells_scored"}) {
+    EXPECT_TRUE(report.at("counters").contains(key)) << key;
+  }
+  std::remove(path.c_str());
 }
 
 }  // namespace
