@@ -4,6 +4,7 @@
 
 #include "drc/track_model.hpp"
 #include "obs/registry.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/stopwatch.hpp"
 #include "util/table.hpp"
@@ -11,8 +12,20 @@
 
 namespace drcshap {
 
+namespace {
+
+/// Checkpoint unit name for one design's sample shard. The spec index is
+/// part of the name because the group id is the index — the same spec at a
+/// different position is a different unit.
+std::string design_unit(std::size_t index, const BenchmarkSpec& spec) {
+  return "design" + std::to_string(index) + "-" + spec.name;
+}
+
+}  // namespace
+
 DesignRun run_pipeline(const BenchmarkSpec& spec,
                        const PipelineOptions& options, int group_id) {
+  DRCSHAP_FAILPOINT_KEYED("pipeline.design", spec.name);
   DRCSHAP_OBS_TIMER("pipeline/run");
   obs::counter_add("pipeline/designs");
   Stopwatch timer;
@@ -65,27 +78,86 @@ DesignRun run_pipeline(const BenchmarkSpec& spec,
 
 Dataset build_suite_dataset(
     const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
+    const SuiteBuildControl& control,
     const std::function<void(const DesignRun&)>& on_design,
     std::size_t n_threads) {
   DRCSHAP_OBS_TIMER("pipeline/build_suite");
+  const CheckpointStore* ckpt =
+      control.checkpoint && control.checkpoint->enabled() ? control.checkpoint
+                                                          : nullptr;
+
+  // Resume: pull every committed shard before fanning out, so only the
+  // missing designs are recomputed. A torn, corrupt or stale shard is
+  // indistinguishable from a missing one — it costs a recompute, never
+  // correctness.
+  std::vector<std::optional<Dataset>> cached(specs.size());
+  if (ckpt) {
+    for (std::size_t d = 0; d < specs.size(); ++d) {
+      StatusOr<std::string> payload = ckpt->load(design_unit(d, specs[d]));
+      if (!payload.ok()) continue;
+      StatusOr<Dataset> shard =
+          decode_dataset_shard(std::move(payload).value());
+      if (shard.ok() &&
+          shard.value().n_features() == FeatureSchema::kNumFeatures) {
+        cached[d].emplace(std::move(shard).value());
+        obs::counter_add("ckpt/design_shards_reused");
+      }
+    }
+  }
+
   // Designs fan out across the shared pool (each run_pipeline is seeded per
   // spec, so runs are order-independent); the results are appended — and
   // on_design observed — in spec order on this thread, so the Dataset is
   // bit-identical to the serial build and the callback needs no locking.
+  // Shards are committed from the workers as designs finish: a build killed
+  // mid-suite keeps everything already finished.
   std::vector<std::optional<DesignRun>> runs(specs.size());
+  std::vector<std::string> quarantined(specs.size());
   parallel_for_shared(
       specs.size(),
       [&](std::size_t d) {
-        runs[d].emplace(run_pipeline(specs[d], options, static_cast<int>(d)));
+        if (cached[d]) return;
+        try {
+          DesignRun run =
+              run_pipeline(specs[d], options, static_cast<int>(d));
+          if (ckpt) {
+            throw_if_error(ckpt->store(design_unit(d, specs[d]),
+                                       encode_dataset_shard(run.samples)));
+          }
+          runs[d].emplace(std::move(run));
+        } catch (const std::exception& e) {
+          if (!control.quarantine_failures) throw;
+          quarantined[d] = e.what();
+        }
       },
       n_threads, /*grain=*/1);
+
   Dataset all(FeatureSchema::kNumFeatures, FeatureSchema::names());
   for (std::size_t d = 0; d < specs.size(); ++d) {
+    if (!quarantined[d].empty()) {
+      obs::counter_add("pipeline/designs_quarantined");
+      obs::note_set("quarantine/" + specs[d].name, quarantined[d]);
+      log_warn("pipeline ", specs[d].name, " quarantined: ", quarantined[d]);
+      continue;
+    }
+    if (cached[d]) {
+      all.append(*cached[d]);
+      cached[d].reset();
+      continue;
+    }
     all.append(runs[d]->samples);
     if (on_design) on_design(*runs[d]);
     runs[d].reset();  // free the heavy Design/congestion state eagerly
   }
   return all;
+}
+
+Dataset build_suite_dataset(
+    const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
+    const std::function<void(const DesignRun&)>& on_design,
+    std::size_t n_threads) {
+  return build_suite_dataset(specs, options, SuiteBuildControl{}, on_design,
+                             n_threads);
 }
 
 }  // namespace drcshap

@@ -12,6 +12,7 @@
 #include "drc/drc_oracle.hpp"
 #include "features/feature_extractor.hpp"
 #include "ml/dataset.hpp"
+#include "ml/experiment_state.hpp"
 #include "route/global_router.hpp"
 
 namespace drcshap {
@@ -49,13 +50,38 @@ struct DesignRun {
 DesignRun run_pipeline(const BenchmarkSpec& spec,
                        const PipelineOptions& options = {}, int group_id = -1);
 
+/// Robustness knobs for build_suite_dataset.
+struct SuiteBuildControl {
+  /// When set (and enabled), each finished design's sample shard is
+  /// committed atomically to the store as it completes, and a later run
+  /// with the same config digest resumes by reusing committed shards —
+  /// byte-identical to an uninterrupted build at any thread count. Torn,
+  /// stale or corrupt shards are silently recomputed.
+  const CheckpointStore* checkpoint = nullptr;
+  /// When true, a design whose pipeline (or shard commit) throws is
+  /// quarantined instead of aborting the build: its rows are dropped, the
+  /// reason is recorded in the run report (note `quarantine/<design>`), and
+  /// the `pipeline/designs_quarantined` counter is bumped. The result
+  /// equals the full build with that design's group filtered out.
+  bool quarantine_failures = false;
+};
+
 /// Runs the pipeline for every design in `specs` (group = design index into
 /// `specs`) and concatenates the samples. Designs run in parallel on the
 /// shared thread pool (`n_threads` caps the workers; 0 = whole pool, 1 =
 /// serial) but samples are appended in spec order, so the result is
 /// bit-identical to a serial build at any thread count. `on_design`
 /// (optional) observes each DesignRun, always from the calling thread and
-/// in spec order, e.g. to collect Table I statistics.
+/// in spec order, e.g. to collect Table I statistics; on a resumed build it
+/// fires only for freshly computed designs (checkpointed shards carry the
+/// samples, not the full DesignRun).
+Dataset build_suite_dataset(
+    const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
+    const SuiteBuildControl& control,
+    const std::function<void(const DesignRun&)>& on_design = nullptr,
+    std::size_t n_threads = 0);
+
+/// Convenience overload: no checkpointing, failures propagate.
 Dataset build_suite_dataset(
     const std::vector<BenchmarkSpec>& specs, const PipelineOptions& options,
     const std::function<void(const DesignRun&)>& on_design = nullptr,

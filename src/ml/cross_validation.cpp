@@ -5,6 +5,7 @@
 
 #include "ml/metrics.hpp"
 #include "obs/registry.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -13,27 +14,58 @@ namespace drcshap {
 CrossValResult grouped_cross_validate(const ModelFactory& factory,
                                       const Dataset& data,
                                       std::span<const int> train_groups,
+                                      const CvControl& control,
                                       std::size_t n_threads) {
   if (train_groups.size() < 2) {
     throw std::invalid_argument(
         "grouped_cross_validate: need >= 2 training groups");
   }
   DRCSHAP_OBS_TIMER("cv/run");
+  const CheckpointStore* ckpt =
+      control.checkpoint && control.checkpoint->enabled() ? control.checkpoint
+                                                          : nullptr;
+  const auto fold_unit = [&](std::size_t f) {
+    return control.unit_prefix + "fold-" + std::to_string(train_groups[f]);
+  };
+
   // Folds fan out across the shared pool; each fold's fit/predict degrades
   // to serial inside its worker (nesting budget), and fold scores land in
   // per-fold slots aggregated below in train_groups order, so the result is
-  // bit-identical to the serial loop at any thread count.
+  // bit-identical to the serial loop at any thread count. Scores cross the
+  // checkpoint as IEEE bit patterns, so a resumed fold is the computed fold.
   struct FoldOutcome {
     double score = 0.0;
     bool scored = false;
   };
   std::vector<FoldOutcome> folds(train_groups.size());
+  std::vector<char> resumed(train_groups.size(), 0);
+  if (ckpt) {
+    for (std::size_t f = 0; f < train_groups.size(); ++f) {
+      StatusOr<std::string> payload = ckpt->load(fold_unit(f));
+      if (!payload.ok()) continue;
+      FoldOutcome fold;
+      if (decode_score(payload.value(), &fold.score, &fold.scored).ok()) {
+        folds[f] = fold;
+        resumed[f] = 1;
+        obs::counter_add("ckpt/cv_folds_reused");
+      }
+    }
+  }
   parallel_for_shared(
       train_groups.size(),
       [&](std::size_t f) {
+        if (resumed[f]) return;
         DRCSHAP_OBS_TIMER("cv/fold");
         obs::counter_add("cv/folds");
         const int held_out = train_groups[f];
+        DRCSHAP_FAILPOINT_KEYED("cv.fold", std::to_string(held_out));
+        const auto commit = [&](const FoldOutcome& fold) {
+          folds[f] = fold;
+          if (ckpt) {
+            throw_if_error(ckpt->store(
+                fold_unit(f), encode_score(fold.score, fold.scored)));
+          }
+        };
         std::vector<int> fit_groups;
         for (const int g : train_groups) {
           if (g != held_out) fit_groups.push_back(g);
@@ -44,14 +76,18 @@ CrossValResult grouped_cross_validate(const ModelFactory& factory,
         if (valid.n_positives() == 0 || train.n_positives() == 0) {
           obs::counter_add("cv/folds_skipped");
           log_debug("CV fold (group ", held_out, ") skipped: one-class split");
+          commit({0.0, false});
           return;
         }
         auto model = factory();
         model->fit(train);
         const std::vector<double> scores = model->predict_proba_all(valid);
         const double score = auprc(scores, valid.labels());
-        if (std::isnan(score)) return;
-        folds[f] = {score, true};
+        if (std::isnan(score)) {
+          commit({0.0, false});
+          return;
+        }
+        commit({score, true});
       },
       n_threads, /*grain=*/1);
 
@@ -70,6 +106,14 @@ CrossValResult grouped_cross_validate(const ModelFactory& factory,
   }
   result.mean_auprc = total / static_cast<double>(scored);
   return result;
+}
+
+CrossValResult grouped_cross_validate(const ModelFactory& factory,
+                                      const Dataset& data,
+                                      std::span<const int> train_groups,
+                                      std::size_t n_threads) {
+  return grouped_cross_validate(factory, data, train_groups, CvControl{},
+                                n_threads);
 }
 
 }  // namespace drcshap

@@ -9,6 +9,7 @@
 
 #include "ml/classifier.hpp"
 #include "ml/dataset.hpp"
+#include "ml/experiment_state.hpp"
 
 namespace drcshap {
 
@@ -27,11 +28,30 @@ struct CrossValResult {
 /// Folds whose validation split has no positive sample are skipped (their
 /// AUPRC is undefined); at least one scorable fold is required.
 ///
+/// Robustness knobs for grouped_cross_validate.
+struct CvControl {
+  /// When set (and enabled), each finished fold's score is committed
+  /// atomically as it completes (unit `<prefix>fold-<group>`), including
+  /// "skipped: one-class split" outcomes, and a later run with the same
+  /// config digest reuses committed folds bit-for-bit.
+  const CheckpointStore* checkpoint = nullptr;
+  /// Prepended to fold unit names — how the grid search keeps candidates'
+  /// folds apart inside one checkpoint directory (e.g. "cand3-").
+  std::string unit_prefix;
+};
+
 /// Folds run in parallel on the shared thread pool (`n_threads` caps the
 /// workers; 0 = whole pool, 1 = serial) with each fold's model fit degraded
 /// to serial inside its worker; fold scores are aggregated in train_groups
 /// order, so fold_auprc and mean_auprc are bit-identical to the serial path
 /// at any thread count.
+CrossValResult grouped_cross_validate(const ModelFactory& factory,
+                                      const Dataset& data,
+                                      std::span<const int> train_groups,
+                                      const CvControl& control,
+                                      std::size_t n_threads = 0);
+
+/// Convenience overload: no checkpointing.
 CrossValResult grouped_cross_validate(const ModelFactory& factory,
                                       const Dataset& data,
                                       std::span<const int> train_groups,

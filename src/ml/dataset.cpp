@@ -99,6 +99,7 @@ void Dataset::save_csv(const std::string& path) const {
     cells[n_features_ + 1] = group_[i];
     writer.write_row_doubles(cells);
   }
+  writer.close();  // commit atomically; throws instead of losing rows
 }
 
 Dataset Dataset::load_csv(const std::string& path) {

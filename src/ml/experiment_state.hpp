@@ -1,0 +1,80 @@
+#pragma once
+// Checkpoint/resume for long experiments. The suite dataset build, the
+// design-held-out CV and the hyper-parameter grid search are all loops over
+// independent units of work (designs, folds, candidates); this layer commits
+// each finished unit atomically (util/artifact) into a checkpoint directory
+// keyed by a config+seed digest, so a run interrupted by OOM / disk-full /
+// a crash resumes by revalidating and reusing the finished units and only
+// recomputing the rest. Because every unit is bit-exact serialized (raw
+// float/double bit patterns) and aggregation order is fixed by the loops
+// themselves (slot-per-index, PRs 3-4), a resumed run is byte-identical to
+// an uninterrupted one at any thread count.
+//
+// Layout: one file per unit, `<dir>/<unit>.ckpt`, each an artifact-framed
+// payload whose first line pins the store's config digest. A unit whose
+// file is missing, torn, checksum-invalid or from a different config is
+// simply recomputed — corruption can cost time, never correctness.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "ml/dataset.hpp"
+#include "util/artifact.hpp"
+
+namespace drcshap {
+
+class CheckpointStore {
+ public:
+  /// Disabled store: enabled() == false, loads miss, stores no-op.
+  CheckpointStore() = default;
+
+  /// Checkpoints live in `dir` (created if missing) and are only reused by
+  /// stores carrying the same `config_digest` — fold every option, seed and
+  /// input that affects the unit's bytes into the digest (DigestBuilder).
+  CheckpointStore(std::string dir, std::uint64_t config_digest);
+
+  bool enabled() const { return !dir_.empty(); }
+  const std::string& dir() const { return dir_; }
+  std::uint64_t config_digest() const { return config_digest_; }
+
+  /// Same directory, digest extended with `salt` — how the grid search
+  /// separates per-candidate fold checkpoints without new directories.
+  CheckpointStore with_salt(std::string_view salt) const;
+
+  /// Loads a committed unit. kNotFound when absent or the store is
+  /// disabled, kCorrupt on a damaged artifact, kStaleConfig when the unit
+  /// was written under a different config digest.
+  StatusOr<std::string> load(std::string_view unit) const;
+
+  /// Commits a unit atomically. No reader (including a concurrent resume)
+  /// can ever observe a torn unit. No-op ok() when the store is disabled.
+  Status store(std::string_view unit, std::string_view payload) const;
+
+  /// Path of a unit's artifact file (tests / diagnostics).
+  std::string unit_path(std::string_view unit) const;
+
+ private:
+  std::string dir_;
+  std::uint64_t config_digest_ = 0;
+};
+
+// ------------------------------------------------- unit payload encodings
+
+/// Bit-exact Dataset shard: feature floats, labels and group ids as raw
+/// bytes (host-endian — checkpoints resume on the machine that wrote them).
+std::string encode_dataset_shard(const Dataset& samples);
+StatusOr<Dataset> decode_dataset_shard(std::string_view payload);
+
+/// One CV fold / grid candidate score. `scored == false` records a fold
+/// skipped for a one-class split, so resume skips it too instead of
+/// recomputing. The double crosses the file as its IEEE bit pattern:
+/// resume must reproduce scores bit-for-bit, not to-17-digits.
+std::string encode_score(double score, bool scored);
+Status decode_score(std::string_view payload, double* score, bool* scored);
+
+/// Content digest of a dataset (features + labels + groups), for config
+/// digests that key CV/grid checkpoints to their training data.
+std::uint64_t dataset_digest(const Dataset& data);
+
+}  // namespace drcshap

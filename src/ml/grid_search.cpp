@@ -4,6 +4,7 @@
 #include <stdexcept>
 
 #include "obs/registry.hpp"
+#include "util/failpoint.hpp"
 #include "util/log.hpp"
 #include "util/thread_pool.hpp"
 
@@ -35,26 +36,68 @@ GridSearchResult grid_search(
     const ParamModelFactory& factory, const Dataset& data,
     std::span<const int> train_groups,
     const std::map<std::string, std::vector<double>>& grid,
-    std::size_t n_threads) {
+    std::size_t n_threads, const CheckpointStore* checkpoint) {
   DRCSHAP_OBS_TIMER("grid/run");
   const std::vector<ParamSet> candidates = expand_grid(grid);
+  const CheckpointStore* ckpt =
+      checkpoint && checkpoint->enabled() ? checkpoint : nullptr;
+  // Per-candidate stores share the directory but salt the digest with the
+  // candidate's parameters, so fold checkpoints can never leak between
+  // hyper-parameter points; unit names carry the grid index to keep the
+  // files apart.
+  std::vector<CheckpointStore> cand_stores;
+  if (ckpt) {
+    cand_stores.reserve(candidates.size());
+    for (const ParamSet& params : candidates) {
+      cand_stores.push_back(ckpt->with_salt(to_string(params)));
+    }
+  }
+  const auto cand_unit = [](std::size_t c) {
+    return "cand" + std::to_string(c) + "-score";
+  };
+
   // Candidates fan out across the shared pool; the CV inside each candidate
   // degrades to serial folds on its worker (nesting budget). Scores land in
   // per-candidate slots and the winner is picked by a strict-improvement
   // scan in grid order below, so best_params/best_score match the serial
   // loop bit for bit at any thread count.
   std::vector<double> scores(candidates.size(), 0.0);
+  std::vector<char> resumed(candidates.size(), 0);
+  if (ckpt) {
+    for (std::size_t c = 0; c < candidates.size(); ++c) {
+      StatusOr<std::string> payload = cand_stores[c].load(cand_unit(c));
+      if (!payload.ok()) continue;
+      double score = 0.0;
+      bool scored = false;
+      if (decode_score(payload.value(), &score, &scored).ok() && scored) {
+        scores[c] = score;
+        resumed[c] = 1;
+        obs::counter_add("ckpt/grid_candidates_reused");
+      }
+    }
+  }
   parallel_for_shared(
       candidates.size(),
       [&](std::size_t c) {
+        if (resumed[c]) return;
         DRCSHAP_OBS_TIMER("grid/candidate");
         obs::counter_add("grid/candidates");
+        DRCSHAP_FAILPOINT_KEYED("grid.candidate", std::to_string(c));
+        CvControl cv_control;
+        if (ckpt) {
+          cv_control.checkpoint = &cand_stores[c];
+          cv_control.unit_prefix = "cand" + std::to_string(c) + "-";
+        }
         // The worker cap is passed through so n_threads bounds the whole
         // search subtree (folds included), not just the candidate loop.
         scores[c] =
             grouped_cross_validate([&] { return factory(candidates[c]); },
-                                   data, train_groups, n_threads)
+                                   data, train_groups, cv_control, n_threads)
                 .mean_auprc;
+        if (ckpt) {
+          throw_if_error(cand_stores[c].store(
+              cand_unit(c), encode_score(scores[c], true)));
+        }
         log_debug("grid candidate ", c + 1, "/", candidates.size(),
                   " finished");
       },

@@ -37,11 +37,17 @@ struct GridSearchResult {
 /// Evaluations, logging and the winner are produced in grid order,
 /// so results are bit-identical to the serial path at any thread count. The
 /// factory must be callable concurrently (see ModelFactory).
+///
+/// When `checkpoint` is set (and enabled), each candidate's mean score —
+/// and, one level down, each of its CV folds — is committed atomically as
+/// it completes under a digest salted with the candidate's parameters, so
+/// an interrupted search resumes mid-candidate and reproduces the
+/// uninterrupted result bit for bit.
 GridSearchResult grid_search(
     const ParamModelFactory& factory, const Dataset& data,
     std::span<const int> train_groups,
     const std::map<std::string, std::vector<double>>& grid,
-    std::size_t n_threads = 0);
+    std::size_t n_threads = 0, const CheckpointStore* checkpoint = nullptr);
 
 /// Formats a ParamSet like "{trees=150, mtry=20}" for logs and reports.
 std::string to_string(const ParamSet& params);

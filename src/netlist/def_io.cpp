@@ -1,13 +1,42 @@
 #include "netlist/def_io.hpp"
 
+#include <cmath>
 #include <fstream>
 #include <iomanip>
 #include <sstream>
 #include <stdexcept>
 
+#include "util/artifact.hpp"
+#include "util/failpoint.hpp"
+
 namespace drcshap {
 
 namespace {
+
+constexpr std::string_view kDefKind = "def-lite";
+
+// Structural caps so a corrupt header fails with a typed error instead of
+// driving a giant allocation (the g-cell grid is sized nx*ny up front).
+constexpr std::size_t kMaxGridDim = 1u << 16;
+constexpr std::size_t kMaxGridCells = 1u << 26;
+constexpr int kMaxMetalLayers = 64;
+
+[[noreturn]] void fail_corrupt(const std::string& why) {
+  throw ArtifactError({StatusCode::kCorrupt, "def-lite: " + why});
+}
+
+void check_finite(double v, const char* what) {
+  if (!std::isfinite(v)) {
+    fail_corrupt(std::string("non-finite ") + what);
+  }
+}
+
+void check_finite_rect(const Rect& r, const char* what) {
+  check_finite(r.x_lo, what);
+  check_finite(r.y_lo, what);
+  check_finite(r.x_hi, what);
+  check_finite(r.y_hi, what);
+}
 
 std::string quote(const std::string& s) {
   std::string out = "\"";
@@ -22,7 +51,7 @@ std::string quote(const std::string& s) {
 std::string read_quoted(std::istream& is) {
   char c = 0;
   is >> c;
-  if (c != '"') throw std::runtime_error("def-lite: expected quoted string");
+  if (c != '"') fail_corrupt("expected quoted string");
   std::string out;
   while (is.get(c)) {
     if (c == '\\') {
@@ -34,15 +63,14 @@ std::string read_quoted(std::istream& is) {
       out += c;
     }
   }
-  throw std::runtime_error("def-lite: unterminated string");
+  fail_corrupt("unterminated string");
 }
 
 void expect(std::istream& is, const std::string& keyword) {
   std::string tok;
   is >> tok;
   if (tok != keyword) {
-    throw std::runtime_error("def-lite: expected '" + keyword + "', got '" +
-                             tok + "'");
+    fail_corrupt("expected '" + keyword + "', got '" + tok + "'");
   }
 }
 
@@ -91,9 +119,11 @@ void write_def_lite(const Design& d, std::ostream& os) {
 }
 
 void write_def_lite_file(const Design& design, const std::string& path) {
-  std::ofstream os(path, std::ios::trunc);
-  if (!os) throw std::runtime_error("write_def_lite_file: cannot open " + path);
-  write_def_lite(design, os);
+  DRCSHAP_FAILPOINT("def_io.write");
+  std::ostringstream payload;
+  write_def_lite(design, payload);
+  throw_if_error(
+      write_artifact_atomic(path, kDefKind, std::move(payload).str()));
 }
 
 Design read_def_lite(std::istream& is) {
@@ -102,17 +132,37 @@ Design read_def_lite(std::istream& is) {
   expect(is, "DIE");
   Rect die;
   is >> die.x_lo >> die.y_lo >> die.x_hi >> die.y_hi;
+  if (!is) fail_corrupt("bad DIE line");
+  check_finite_rect(die, "die coordinate");
+  if (die.x_hi <= die.x_lo || die.y_hi <= die.y_lo) {
+    fail_corrupt("empty/inverted die box");
+  }
   expect(is, "GRID");
   std::size_t nx = 0, ny = 0;
   is >> nx >> ny;
+  if (!is || nx == 0 || ny == 0 || nx > kMaxGridDim || ny > kMaxGridDim ||
+      nx * ny > kMaxGridCells) {
+    fail_corrupt("implausible g-cell grid " + std::to_string(nx) + "x" +
+                 std::to_string(ny));
+  }
   expect(is, "TECH");
   Technology tech;
   is >> tech.num_metal_layers;
+  if (!is || tech.num_metal_layers < 1 ||
+      tech.num_metal_layers > kMaxMetalLayers) {
+    fail_corrupt("implausible metal layer count");
+  }
   tech.tracks_per_gcell.assign(tech.num_metal_layers, 0);
   for (int& v : tech.tracks_per_gcell) is >> v;
   tech.vias_per_gcell.assign(tech.num_via_layers(), 0);
   for (int& v : tech.vias_per_gcell) is >> v;
-  if (!is) throw std::runtime_error("def-lite: bad header");
+  if (!is) fail_corrupt("bad header");
+  for (const int v : tech.tracks_per_gcell) {
+    if (v < 0) fail_corrupt("negative track capacity");
+  }
+  for (const int v : tech.vias_per_gcell) {
+    if (v < 0) fail_corrupt("negative via capacity");
+  }
 
   Design d(name, die, nx, ny, tech);
 
@@ -125,6 +175,12 @@ Design read_def_lite(std::istream& is) {
     m.name = read_quoted(is);
     is >> m.box.x_lo >> m.box.y_lo >> m.box.x_hi >> m.box.y_hi >>
         m.blocked_metal_layers;
+    if (!is) fail_corrupt("truncated MACRO record");
+    check_finite_rect(m.box, "macro box");
+    if (m.blocked_metal_layers < 0 ||
+        m.blocked_metal_layers > tech.num_metal_layers) {
+      fail_corrupt("macro blocked-layer count out of range");
+    }
     d.add_macro(std::move(m));
   }
   expect(is, "CELLS");
@@ -135,6 +191,8 @@ Design read_def_lite(std::istream& is) {
     c.name = read_quoted(is);
     int multi = 0;
     is >> c.box.x_lo >> c.box.y_lo >> c.box.x_hi >> c.box.y_hi >> multi;
+    if (!is) fail_corrupt("truncated CELL record");
+    check_finite_rect(c.box, "cell box");
     c.is_multi_height = multi != 0;
     d.add_cell(std::move(c));
   }
@@ -146,6 +204,7 @@ Design read_def_lite(std::istream& is) {
     n.name = read_quoted(is);
     int clk = 0, ndr = 0;
     is >> clk >> ndr;
+    if (!is) fail_corrupt("truncated NET record");
     n.is_clock = clk != 0;
     n.has_ndr = ndr != 0;
     d.add_net(std::move(n));
@@ -158,6 +217,19 @@ Design read_def_lite(std::istream& is) {
     long long cell = -1;
     int clk = 0, ndr = 0;
     is >> cell >> p.net >> p.position.x >> p.position.y >> clk >> ndr;
+    if (!is) fail_corrupt("truncated PIN record");
+    check_finite(p.position.x, "pin position");
+    check_finite(p.position.y, "pin position");
+    if (p.net >= d.num_nets()) {
+      fail_corrupt("pin references net " + std::to_string(p.net) +
+                   " but only " + std::to_string(d.num_nets()) +
+                   " nets declared");
+    }
+    if (cell >= static_cast<long long>(d.num_cells())) {
+      fail_corrupt("pin references cell " + std::to_string(cell) +
+                   " but only " + std::to_string(d.num_cells()) +
+                   " cells declared");
+    }
     p.cell = cell < 0 ? kInvalidId : static_cast<CellId>(cell);
     p.is_clock = clk != 0;
     p.has_ndr = ndr != 0;
@@ -170,17 +242,22 @@ Design read_def_lite(std::istream& is) {
     Blockage b;
     is >> b.box.x_lo >> b.box.y_lo >> b.box.x_hi >> b.box.y_hi >> b.metal_lo >>
         b.metal_hi;
+    if (!is) fail_corrupt("truncated BLOCKAGE record");
+    check_finite_rect(b.box, "blockage box");
+    if (b.metal_lo < 0 || b.metal_hi < b.metal_lo ||
+        b.metal_hi >= tech.num_metal_layers) {
+      fail_corrupt("blockage layer range out of bounds");
+    }
     d.add_blockage(b);
   }
   expect(is, "END");
-  if (!is) throw std::runtime_error("def-lite: truncated input");
+  if (!is) fail_corrupt("truncated input");
   return d;
 }
 
 Design read_def_lite_file(const std::string& path) {
-  std::ifstream is(path);
-  if (!is) throw std::runtime_error("read_def_lite_file: cannot open " + path);
-  return read_def_lite(is);
+  std::istringstream payload(read_artifact(path, kDefKind).value());
+  return read_def_lite(payload);
 }
 
 }  // namespace drcshap

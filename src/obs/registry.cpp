@@ -20,6 +20,13 @@ struct GaugeCell {
   std::uint64_t seq = 0;
 };
 
+// Notes reuse the gauge discipline (last global write wins) with a string
+// payload.
+struct NoteCell {
+  std::string value;
+  std::uint64_t seq = 0;
+};
+
 // Plain (non-atomic) metric maps guarded by one mutex per shard. The mutex
 // is only ever contended by snapshot()/reset() walking the registry — the
 // owning thread is the sole updater — so the fast path is an uncontended
@@ -28,21 +35,31 @@ struct Shard {
   std::mutex mu;
   std::map<std::string, std::uint64_t, std::less<>> counters;
   std::map<std::string, GaugeCell, std::less<>> gauges;
+  std::map<std::string, NoteCell, std::less<>> notes;
   std::map<std::string, TimerStat, std::less<>> timers;
 
   bool empty() const {
-    return counters.empty() && gauges.empty() && timers.empty();
+    return counters.empty() && gauges.empty() && notes.empty() &&
+           timers.empty();
   }
 };
 
 void merge_shard_locked(const Shard& shard, Snapshot& out,
-                        std::map<std::string, std::uint64_t>& gauge_seq) {
+                        std::map<std::string, std::uint64_t>& gauge_seq,
+                        std::map<std::string, std::uint64_t>& note_seq) {
   for (const auto& [name, value] : shard.counters) out.counters[name] += value;
   for (const auto& [name, cell] : shard.gauges) {
     auto it = gauge_seq.find(name);
     if (it == gauge_seq.end() || cell.seq > it->second) {
       gauge_seq[name] = cell.seq;
       out.gauges[name] = cell.value;
+    }
+  }
+  for (const auto& [name, cell] : shard.notes) {
+    auto it = note_seq.find(name);
+    if (it == note_seq.end() || cell.seq > it->second) {
+      note_seq[name] = cell.seq;
+      out.notes[name] = cell.value;
     }
   }
   for (const auto& [name, stat] : shard.timers) {
@@ -78,11 +95,12 @@ class Registry {
   Snapshot snapshot() {
     Snapshot out;
     std::map<std::string, std::uint64_t> gauge_seq;
+    std::map<std::string, std::uint64_t> note_seq;
     std::lock_guard<std::mutex> registry_lock(mu_);
-    merge_shard_locked(retired_, out, gauge_seq);
+    merge_shard_locked(retired_, out, gauge_seq, note_seq);
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
-      merge_shard_locked(*shard, out, gauge_seq);
+      merge_shard_locked(*shard, out, gauge_seq, note_seq);
     }
     return out;
   }
@@ -91,11 +109,13 @@ class Registry {
     std::lock_guard<std::mutex> registry_lock(mu_);
     retired_.counters.clear();
     retired_.gauges.clear();
+    retired_.notes.clear();
     retired_.timers.clear();
     for (const auto& shard : shards_) {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       shard->counters.clear();
       shard->gauges.clear();
+      shard->notes.clear();
       shard->timers.clear();
     }
   }
@@ -119,16 +139,22 @@ class Registry {
       std::lock_guard<std::mutex> shard_lock(shard->mu);
       if (!shard->empty()) {
         // Fold into the retired aggregate with the same merge the snapshot
-        // uses, preserving counter sums and the freshest gauge writes.
+        // uses, preserving counter sums and the freshest gauge/note writes.
         Snapshot merged;
         std::map<std::string, std::uint64_t> gauge_seq;
-        merge_shard_locked(*shard, merged, gauge_seq);
+        std::map<std::string, std::uint64_t> note_seq;
+        merge_shard_locked(*shard, merged, gauge_seq, note_seq);
         for (const auto& [name, value] : merged.counters) {
           retired_.counters[name] += value;
         }
         for (const auto& [name, value] : merged.gauges) {
           GaugeCell& cell = retired_.gauges[name];
           const std::uint64_t seq = gauge_seq[name];
+          if (seq > cell.seq) cell = {value, seq};
+        }
+        for (const auto& [name, value] : merged.notes) {
+          NoteCell& cell = retired_.notes[name];
+          const std::uint64_t seq = note_seq[name];
           if (seq > cell.seq) cell = {value, seq};
         }
         for (const auto& [name, stat] : merged.timers) {
@@ -179,6 +205,19 @@ void gauge_set(std::string_view name, double value) {
     shard.gauges.emplace(std::string(name), GaugeCell{value, seq});
   } else {
     it->second = {value, seq};
+  }
+}
+
+void note_set(std::string_view name, std::string_view value) {
+  Registry& registry = Registry::get();
+  const std::uint64_t seq = registry.next_gauge_seq();
+  Shard& shard = registry.local_shard();
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.notes.find(name);
+  if (it == shard.notes.end()) {
+    shard.notes.emplace(std::string(name), NoteCell{std::string(value), seq});
+  } else {
+    it->second = {std::string(value), seq};
   }
 }
 

@@ -38,11 +38,12 @@ struct TimerStat {
 
 /// One merged, ordered view of the registry. Counters and timer totals are
 /// integer sums over shards, so the merged value is independent of shard
-/// enumeration order and thread scheduling; gauges keep the most recent
-/// set() (global sequence stamp).
+/// enumeration order and thread scheduling; gauges and notes keep the most
+/// recent set() (global sequence stamp).
 struct Snapshot {
   std::map<std::string, std::uint64_t> counters;
   std::map<std::string, double> gauges;
+  std::map<std::string, std::string> notes;
   std::map<std::string, TimerStat> timers;
 };
 
@@ -53,6 +54,10 @@ void counter_add(std::string_view name, std::uint64_t delta = 1);
 
 /// Set the named gauge; the last write in program order wins in snapshots.
 void gauge_set(std::string_view name, double value);
+
+/// Set a string annotation (e.g. why a design/fold was quarantined); the
+/// last write wins, like a gauge. Notes reach runreport.json verbatim.
+void note_set(std::string_view name, std::string_view value);
 
 /// Record one completed timer scope of `elapsed_ns` (used by ScopedTimer;
 /// callable directly for externally measured durations).
@@ -87,6 +92,7 @@ class ScopedTimer {
 
 inline void counter_add(std::string_view, std::uint64_t = 1) {}
 inline void gauge_set(std::string_view, double) {}
+inline void note_set(std::string_view, std::string_view) {}
 inline void timer_record(std::string_view, std::uint64_t) {}
 inline Snapshot snapshot() { return {}; }
 inline void reset() {}

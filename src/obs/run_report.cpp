@@ -4,10 +4,10 @@
 #include <cstdio>
 #include <cstdlib>
 #include <ctime>
-#include <fstream>
 #include <thread>
 
 #include "obs/registry.hpp"
+#include "util/artifact.hpp"
 
 // Build provenance is injected by CMake as compile definitions on this
 // translation unit only; default to "unknown" so the file also compiles
@@ -73,6 +73,10 @@ JsonValue build_run_report(const RunReportOptions& options) {
   for (const auto& [name, value] : snap.gauges) gauges[name] = value;
   report["gauges"] = std::move(gauges);
 
+  JsonValue notes = JsonValue::make_object();
+  for (const auto& [name, value] : snap.notes) notes[name] = value;
+  report["notes"] = std::move(notes);
+
   JsonValue timers = JsonValue::make_object();
   for (const auto& [name, stat] : snap.timers) {
     JsonValue t = JsonValue::make_object();
@@ -88,10 +92,11 @@ JsonValue build_run_report(const RunReportOptions& options) {
 
 void write_run_report(const std::string& path,
                       const RunReportOptions& options) {
-  std::ofstream out(path, std::ios::binary | std::ios::trunc);
-  if (!out) throw std::runtime_error("run_report: cannot open " + path);
-  out << build_run_report(options).dump(2);
-  if (!out) throw std::runtime_error("run_report: write failed for " + path);
+  // Atomic temp+rename commit: a gate (tools/check_bench.py) or a monitoring
+  // scraper reading mid-write must see the previous report or the new one,
+  // never a torn JSON prefix. The report stays unframed JSON — its consumers
+  // are external.
+  throw_if_error(write_file_atomic(path, build_run_report(options).dump(2)));
 }
 
 std::string default_report_path() {

@@ -8,10 +8,16 @@
 
 namespace drcshap {
 
+/// Crash-safe CSV writer: rows stream into a same-directory temp file and
+/// the target path is only created/replaced by an atomic rename in close()
+/// (or the destructor). A reader — or a re-run after a crash — can never
+/// observe a half-written CSV under the final name.
 class CsvWriter {
  public:
-  /// Opens (truncates) the file; throws std::runtime_error on failure.
+  /// Opens the temp file; throws std::runtime_error on failure.
   explicit CsvWriter(const std::string& path);
+  /// Commits via close() if still open, swallowing errors (stack unwind
+  /// must not terminate); call close() explicitly to observe failures.
   ~CsvWriter();
 
   CsvWriter(const CsvWriter&) = delete;
@@ -19,6 +25,11 @@ class CsvWriter {
 
   void write_row(const std::vector<std::string>& cells);
   void write_row_doubles(const std::vector<double>& values);
+
+  /// Flushes, fsyncs and renames the temp file onto the target path.
+  /// Throws ArtifactError (a std::runtime_error) if the commit fails;
+  /// idempotent once committed.
+  void close();
 
  private:
   struct Impl;

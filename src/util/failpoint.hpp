@@ -1,0 +1,101 @@
+#pragma once
+// Deterministic fault injection for crash-recovery tests. Named failpoints
+// are compiled into I/O commit points and experiment-loop tasks; a build
+// with -DDRCSHAP_FAILPOINTS=ON can arm them via the environment or from
+// test code:
+//
+//   DRCSHAP_FAILPOINTS="model_io.write=fail@2,pipeline.design=throw@des_perf_1"
+//
+// Spec grammar: comma-separated `<name>=<action>` entries with actions
+//   fail@N     throw FailpointError from the N-th hit of <name> onward
+//              (counted from 1 — models a process that dies and stays dead)
+//   throw@KEY  throw when the site is hit with key operand == KEY
+//              (poisons one design/fold/unit, leaving siblings healthy)
+//
+// In the default build (DRCSHAP_FAILPOINTS=OFF) every macro below expands
+// to nothing and the inline stubs vanish, so production binaries carry zero
+// fault-injection cost — the same compile-out discipline as src/obs.
+
+#include <cstdint>
+#include <stdexcept>
+#include <string>
+#include <string_view>
+
+#ifndef DRCSHAP_FAILPOINTS_ENABLED
+#define DRCSHAP_FAILPOINTS_ENABLED 0
+#endif
+
+namespace drcshap {
+
+/// Compile-time switch mirror, so tests can self-skip in builds where
+/// failpoints are compiled out.
+constexpr bool kFailpointsCompiled = DRCSHAP_FAILPOINTS_ENABLED != 0;
+
+/// Thrown when an armed failpoint fires. Carries the failpoint name so
+/// recovery tests can assert which commit point "crashed".
+class FailpointError : public std::runtime_error {
+ public:
+  explicit FailpointError(std::string name)
+      : std::runtime_error("failpoint '" + name + "' fired"),
+        name_(std::move(name)) {}
+
+  const std::string& name() const { return name_; }
+
+ private:
+  std::string name_;
+};
+
+#if DRCSHAP_FAILPOINTS_ENABLED
+
+/// Replace the active configuration with `spec` (see grammar above) and
+/// reset all hit counters. Empty spec disarms everything. Throws
+/// std::invalid_argument on a malformed spec.
+void failpoints_configure(std::string_view spec);
+
+/// Disarm all failpoints and reset counters.
+void failpoints_clear();
+
+/// Total times the named failpoint has been evaluated since the last
+/// configure/clear — lets sweep tests size their kill schedule.
+std::uint64_t failpoint_hits(std::string_view name);
+
+/// Failpoint sites (used via the macros below). May throw FailpointError.
+void failpoint_hit(std::string_view name);
+void failpoint_hit(std::string_view name, std::string_view key);
+
+/// RAII: configure on construction, clear on destruction (tests).
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(std::string_view spec) {
+    failpoints_configure(spec);
+  }
+  ~ScopedFailpoints() { failpoints_clear(); }
+
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+#define DRCSHAP_FAILPOINT(name) ::drcshap::failpoint_hit(name)
+#define DRCSHAP_FAILPOINT_KEYED(name, key) ::drcshap::failpoint_hit(name, key)
+
+#else  // DRCSHAP_FAILPOINTS_ENABLED == 0: everything is a no-op.
+
+inline void failpoints_configure(std::string_view) {}
+inline void failpoints_clear() {}
+inline std::uint64_t failpoint_hits(std::string_view) { return 0; }
+inline void failpoint_hit(std::string_view) {}
+inline void failpoint_hit(std::string_view, std::string_view) {}
+
+class ScopedFailpoints {
+ public:
+  explicit ScopedFailpoints(std::string_view) {}
+  ScopedFailpoints(const ScopedFailpoints&) = delete;
+  ScopedFailpoints& operator=(const ScopedFailpoints&) = delete;
+};
+
+#define DRCSHAP_FAILPOINT(name) ((void)0)
+#define DRCSHAP_FAILPOINT_KEYED(name, key) ((void)0)
+
+#endif  // DRCSHAP_FAILPOINTS_ENABLED
+
+}  // namespace drcshap

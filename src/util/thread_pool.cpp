@@ -5,6 +5,8 @@
 #include <cstdlib>
 #include <memory>
 
+#include "util/failpoint.hpp"
+
 namespace drcshap {
 
 namespace {
@@ -82,18 +84,42 @@ void ThreadPool::parallel_for(std::size_t n,
   auto cursor = std::make_shared<std::atomic<std::size_t>>(0);
   std::vector<std::future<void>> futures;
   futures.reserve(strips);
+  // `failed` lets sibling strips stop claiming new chunks once any task has
+  // thrown, so a poisoned index does not force the whole remaining range to
+  // run before the error can surface.
+  auto failed = std::make_shared<std::atomic<bool>>(false);
   for (std::size_t s = 0; s < strips; ++s) {
-    futures.push_back(submit([&fn, cursor, grain, n, n_chunks] {
+    futures.push_back(submit([&fn, cursor, failed, grain, n, n_chunks] {
       for (;;) {
+        if (failed->load(std::memory_order_relaxed)) return;
         const std::size_t c = cursor->fetch_add(1, std::memory_order_relaxed);
         if (c >= n_chunks) return;
         const std::size_t begin = c * grain;
         const std::size_t end = std::min(n, begin + grain);
-        for (std::size_t i = begin; i < end; ++i) fn(i);
+        try {
+          DRCSHAP_FAILPOINT("pool.chunk");
+          for (std::size_t i = begin; i < end; ++i) fn(i);
+        } catch (...) {
+          failed->store(true, std::memory_order_relaxed);
+          throw;
+        }
       }
     }));
   }
-  for (auto& f : futures) f.get();  // rethrows task exceptions
+  // Join EVERY strip before letting the first exception out: `fn` and the
+  // caller's captured state live on the caller's stack, so rethrowing while
+  // a sibling strip is still running would let that sibling use freed state
+  // once the caller unwinds. First exception (in strip order) wins; the
+  // others are joined and dropped.
+  std::exception_ptr first_error;
+  for (auto& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
 }
 
 int ThreadPool::current_worker_index() { return tl_worker_index; }

@@ -57,7 +57,9 @@ class ThreadPool {
   /// Degrades to a plain inline loop on the calling thread when the
   /// effective width is 1, the range is a single chunk, or the caller is
   /// itself a pool worker (nested parallelism — see the header comment).
-  /// Exceptions from tasks propagate out of this call (first one wins).
+  /// Exceptions from tasks propagate out of this call (first one in strip
+  /// order wins); every sibling task is joined before the rethrow, so no
+  /// task can still be touching captured state when the caller unwinds.
   void parallel_for(std::size_t n, const std::function<void(std::size_t)>& fn,
                     std::size_t grain = 0, std::size_t max_workers = 0);
 

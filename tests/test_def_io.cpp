@@ -2,7 +2,11 @@
 
 #include <gtest/gtest.h>
 
+#include <cstdio>
+#include <fstream>
 #include <sstream>
+
+#include "util/artifact.hpp"
 
 namespace drcshap {
 namespace {
@@ -94,6 +98,59 @@ TEST(DefIo, FileRoundTrip) {
 
 TEST(DefIo, MissingFileThrows) {
   EXPECT_THROW(read_def_lite_file("/nope/missing.def"), std::runtime_error);
+}
+
+TEST(DefIo, RejectsNonFiniteAndOutOfRange) {
+  // Finite checks: a NaN die coordinate must be a typed parse error.
+  std::stringstream nan_die("DESIGN \"d\"\nDIE 0 0 nan 40\nGRID 5 4\n");
+  EXPECT_THROW(read_def_lite(nan_die), ArtifactError);
+  // Range checks: a pin naming a net that was never declared.
+  const Design original = build_rich_design();
+  std::stringstream buffer;
+  write_def_lite(original, buffer);
+  std::string text = buffer.str();
+  const auto pin_pos = text.find("PIN 0 0");
+  ASSERT_NE(pin_pos, std::string::npos);
+  text.replace(pin_pos, 7, "PIN 0 9");
+  std::stringstream bad_net(text);
+  EXPECT_THROW(read_def_lite(bad_net), ArtifactError);
+  // An absurd grid header must fail before it drives a huge allocation.
+  std::stringstream huge(
+      "DESIGN \"d\"\nDIE 0 0 50 40\nGRID 999999999 999999999\n");
+  EXPECT_THROW(read_def_lite(huge), ArtifactError);
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(DefIo, EveryTruncationAndBitFlipFailsCleanly) {
+  const Design original = build_rich_design();
+  const std::string path = "/tmp/drcshap_def_corrupt.def";
+  write_def_lite_file(original, path);
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 97u);
+  for (std::size_t len = 0; len < bytes.size(); len += 97) {
+    spit(path, bytes.substr(0, len));
+    EXPECT_THROW(read_def_lite_file(path), ArtifactError)
+        << "truncation to " << len << " bytes must not parse";
+  }
+  for (std::size_t i = 0; i < bytes.size(); i += 97) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    spit(path, flipped);
+    EXPECT_THROW(read_def_lite_file(path), ArtifactError)
+        << "bit flip at byte " << i << " must not parse";
+  }
+  spit(path, bytes);
+  EXPECT_NO_THROW(read_def_lite_file(path));
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -3,9 +3,11 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <fstream>
 #include <sstream>
 
 #include "core/tree_shap.hpp"
+#include "util/artifact.hpp"
 #include "util/rng.hpp"
 
 namespace drcshap {
@@ -64,6 +66,49 @@ TEST(ModelIo, FileRoundTrip) {
   const RandomForestClassifier loaded = load_forest_file(path);
   const std::vector<float> x{0.5f, 0.5f, 0.5f, 0.5f};
   EXPECT_DOUBLE_EQ(loaded.predict_proba(x), original.predict_proba(x));
+  std::remove(path.c_str());
+}
+
+std::string slurp(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  return {std::istreambuf_iterator<char>(in), std::istreambuf_iterator<char>()};
+}
+
+void spit(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+TEST(ModelIo, EveryTruncationFailsCleanly) {
+  const RandomForestClassifier original = fitted_forest();
+  const std::string path = "/tmp/drcshap_model_trunc.rf";
+  save_forest_file(original, path);
+  const std::string bytes = slurp(path);
+  ASSERT_GT(bytes.size(), 97u);
+  for (std::size_t len = 0; len < bytes.size(); len += 97) {
+    spit(path, bytes.substr(0, len));
+    EXPECT_THROW(load_forest_file(path), ArtifactError)
+        << "truncation to " << len << " bytes must not parse";
+  }
+  spit(path, bytes);  // intact copy still loads
+  EXPECT_NO_THROW(load_forest_file(path));
+  std::remove(path.c_str());
+}
+
+TEST(ModelIo, EveryBitFlipFailsCleanly) {
+  const RandomForestClassifier original = fitted_forest();
+  const std::string path = "/tmp/drcshap_model_flip.rf";
+  save_forest_file(original, path);
+  const std::string bytes = slurp(path);
+  for (std::size_t i = 0; i < bytes.size(); i += 97) {
+    std::string flipped = bytes;
+    flipped[i] = static_cast<char>(flipped[i] ^ 0x40);
+    spit(path, flipped);
+    // The checksum trailer catches payload damage; the header check catches
+    // the rest. Either way: a typed error, never garbage trees or a crash.
+    EXPECT_THROW(load_forest_file(path), ArtifactError)
+        << "bit flip at byte " << i << " must not parse";
+  }
   std::remove(path.c_str());
 }
 

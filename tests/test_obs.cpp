@@ -143,17 +143,40 @@ TEST_F(Obs, GaugeLastWriteWinsAcrossThreads) {
   EXPECT_DOUBLE_EQ(obs::snapshot().gauges.at("obs_test/xg"), 9.0);
 }
 
+// --------------------------------------------------------------------- notes
+
+TEST_F(Obs, NoteLastWriteWins) {
+  obs::note_set("obs_test/n", "first");
+  obs::note_set("obs_test/n", "second");
+  const obs::Snapshot snap = obs::snapshot();
+  if (!obs::kEnabled) {
+    EXPECT_TRUE(snap.notes.empty());
+    return;
+  }
+  EXPECT_EQ(snap.notes.at("obs_test/n"), "second");
+}
+
+TEST_F(Obs, NoteLastWriteWinsAcrossThreads) {
+  obs::note_set("obs_test/xn", "main");
+  std::thread worker([] { obs::note_set("obs_test/xn", "worker"); });
+  worker.join();
+  if (!obs::kEnabled) return;
+  EXPECT_EQ(obs::snapshot().notes.at("obs_test/xn"), "worker");
+}
+
 // --------------------------------------------------------------------- reset
 
 TEST_F(Obs, ResetClearsEverything) {
   obs::counter_add("obs_test/c");
   obs::gauge_set("obs_test/g", 1.0);
   obs::timer_record("obs_test/t", 10);
+  obs::note_set("obs_test/n", "v");
   obs::reset();
   const obs::Snapshot snap = obs::snapshot();
   EXPECT_TRUE(snap.counters.empty());
   EXPECT_TRUE(snap.gauges.empty());
   EXPECT_TRUE(snap.timers.empty());
+  EXPECT_TRUE(snap.notes.empty());
 }
 
 // ------------------------------------------------------- compile-time switch
@@ -234,6 +257,7 @@ TEST_F(Obs, RunReportRoundTripsThroughJson) {
   obs::counter_add("obs_test/report_counter", 7);
   obs::gauge_set("obs_test/report_gauge", 0.5);
   obs::timer_record("obs_test/report_timer", 2'000'000);
+  obs::note_set("obs_test/report_note", "quarantined: boom");
 
   obs::RunReportOptions options;
   options.tool = "test_obs";
@@ -264,9 +288,12 @@ TEST_F(Obs, RunReportRoundTripsThroughJson) {
         report.at("timers").at("obs_test/report_timer");
     EXPECT_DOUBLE_EQ(timer.at("count").as_number(), 1.0);
     EXPECT_DOUBLE_EQ(timer.at("total_ms").as_number(), 2.0);
+    EXPECT_EQ(report.at("notes").at("obs_test/report_note").as_string(),
+              "quarantined: boom");
   } else {
     EXPECT_TRUE(report.at("counters").as_object().empty());
     EXPECT_TRUE(report.at("timers").as_object().empty());
+    EXPECT_TRUE(report.at("notes").as_object().empty());
   }
 }
 

@@ -90,6 +90,45 @@ TEST(ThreadPool, ChunkedExceptionStillPropagates) {
                std::runtime_error);
 }
 
+TEST(ThreadPool, ThrowJoinsAllSiblingsBeforeRethrow) {
+  // Regression: parallel_for used to rethrow from the first failed future
+  // while sibling tasks were still running; they then touched the callback
+  // and captured state after the caller's stack frame was gone (a
+  // use-after-free TSan flags). Throw from a mid-range chunk and destroy
+  // the captured vector immediately after: if any abandoned sibling were
+  // still running it would write into freed memory.
+  ThreadPool pool(4);
+  for (int round = 0; round < 20; ++round) {
+    auto touched = std::make_unique<std::vector<std::atomic<int>>>(4096);
+    try {
+      pool.parallel_for(4096, [&](std::size_t i) {
+        (*touched)[i].fetch_add(1, std::memory_order_relaxed);
+        if (i == 2048) throw std::runtime_error("mid-range boom");
+      });
+      FAIL() << "parallel_for must rethrow";
+    } catch (const std::runtime_error& e) {
+      EXPECT_STREQ(e.what(), "mid-range boom");
+    }
+    touched.reset();  // any straggler task would now be a use-after-free
+  }
+}
+
+TEST(ThreadPool, ThrowStopsUnclaimedChunks) {
+  // The failure flag lets strips stop claiming work once a sibling threw:
+  // every strip dies on its first index, so at most one index per strip
+  // runs and the rest of the 100k-index range is never claimed.
+  ThreadPool pool(2);
+  std::atomic<std::size_t> ran{0};
+  EXPECT_THROW(pool.parallel_for(
+                   100000,
+                   [&](std::size_t) {
+                     ran.fetch_add(1, std::memory_order_relaxed);
+                     throw std::runtime_error("first chunk dies");
+                   }),
+               std::runtime_error);
+  EXPECT_LE(ran.load(), 2u);
+}
+
 // --------------------------------------------------------------------- Table
 
 TEST(Table, RendersHeaderAndRows) {

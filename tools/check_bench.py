@@ -32,30 +32,80 @@ import sys
 TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
 
 
+class ReportError(Exception):
+    """A report file is unreadable, truncated, or malformed."""
+
+
+def load_json_object(path: str) -> dict:
+    """Parse `path` as a JSON object, failing with an actionable message.
+
+    A truncated or half-written report (e.g. a run killed mid-benchmark
+    before this repo grew atomic report commits) must produce a clear
+    one-line diagnosis, not a traceback or a silently empty comparison.
+    """
+    try:
+        with open(path, encoding="utf-8") as f:
+            text = f.read()
+    except OSError as err:
+        raise ReportError(f"check_bench: cannot read {path}: {err}")
+    if not text.strip():
+        raise ReportError(
+            f"check_bench: {path} is empty — the producing run likely "
+            "crashed before writing the report; re-run the benchmarks")
+    try:
+        doc = json.loads(text)
+    except json.JSONDecodeError as err:
+        raise ReportError(
+            f"check_bench: {path} is not valid JSON (line {err.lineno}, "
+            f"col {err.colno}: {err.msg}) — truncated or corrupt report; "
+            "re-run the benchmarks")
+    if not isinstance(doc, dict):
+        raise ReportError(
+            f"check_bench: {path} holds a JSON {type(doc).__name__}, "
+            "expected an object (runreport or google-benchmark format)")
+    return doc
+
+
 def load_baseline(path: str, metric: str) -> dict[str, float]:
     """Google-benchmark JSON -> {benchmark name: time in ms}."""
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json_object(path)
     out: dict[str, float] = {}
-    for bench in doc.get("benchmarks", []):
+    benches = doc.get("benchmarks", [])
+    if not isinstance(benches, list):
+        raise ReportError(f"check_bench: {path}: 'benchmarks' is not a list")
+    for bench in benches:
+        if not isinstance(bench, dict):
+            raise ReportError(f"check_bench: {path}: malformed benchmark row")
         if bench.get("run_type", "iteration") != "iteration":
             continue  # skip aggregate rows (mean/median/stddev)
-        unit = bench.get("time_unit", "ns")
-        out[bench["name"]] = bench[f"{metric}_time"] * TO_MS[unit]
+        try:
+            unit = bench.get("time_unit", "ns")
+            out[bench["name"]] = bench[f"{metric}_time"] * TO_MS[unit]
+        except (KeyError, TypeError) as err:
+            raise ReportError(
+                f"check_bench: {path}: benchmark row missing/invalid "
+                f"field {err} — corrupt report")
     return out
 
 
 def load_candidate(path: str, metric: str) -> dict[str, float]:
     """runreport.json or google-benchmark JSON -> {name: time in ms}."""
-    with open(path, encoding="utf-8") as f:
-        doc = json.load(f)
+    doc = load_json_object(path)
     if "benchmarks" in doc:
         return load_baseline(path, metric)
+    gauges = doc.get("gauges", {})
+    if not isinstance(gauges, dict):
+        raise ReportError(f"check_bench: {path}: 'gauges' is not an object")
     out: dict[str, float] = {}
     prefix, suffix = "bench/", f"/{metric}_time_ms"
-    for key, value in doc.get("gauges", {}).items():
+    for key, value in gauges.items():
         if key.startswith(prefix) and key.endswith(suffix):
-            out[key[len(prefix):-len(suffix)]] = float(value)
+            try:
+                out[key[len(prefix):-len(suffix)]] = float(value)
+            except (TypeError, ValueError):
+                raise ReportError(
+                    f"check_bench: {path}: gauge '{key}' is not a number "
+                    "— corrupt report")
     return out
 
 
@@ -74,6 +124,9 @@ def main() -> int:
     try:
         baseline = load_baseline(args.baseline, args.metric)
         candidate = load_candidate(args.report, args.metric)
+    except ReportError as err:
+        print(str(err), file=sys.stderr)
+        return 2
     except (OSError, json.JSONDecodeError, KeyError) as err:
         print(f"check_bench: cannot load inputs: {err}", file=sys.stderr)
         return 2
