@@ -70,11 +70,14 @@ void RusBoostClassifier::fit(const Dataset& data) {
     DecisionTree tree;
     tree.fit_binned(binned, data, draw_round_rows(), tree_options);
 
-    // Weighted error over the FULL training set.
+    // Weighted error over the FULL training set, walking the round tree's
+    // flat view (same leaf values as the node-struct walk, ~2x faster).
+    const FlatForest round_flat(std::span<const DecisionTree>(&tree, 1));
     double err = 0.0;
     std::vector<std::int8_t> h(n);
     for (std::size_t i = 0; i < n; ++i) {
-      const bool predicted_pos = tree.predict_proba(data.row(i)) >= 0.5;
+      const bool predicted_pos =
+          round_flat.predict_tree(0, data.row(i).data()) >= 0.5;
       h[i] = predicted_pos ? 1 : -1;
       const bool actual_pos = data.label(i) != 0;
       if (predicted_pos != actual_pos) err += weights[i];
@@ -101,15 +104,18 @@ void RusBoostClassifier::fit(const Dataset& data) {
   if (trees_.empty()) {
     throw std::runtime_error("RUSBoost: no round produced a useful learner");
   }
+  flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
   alpha_total_ = std::accumulate(alphas_.begin(), alphas_.end(), 0.0);
   log_debug("RUSBoost fit: ", trees_.size(), " effective rounds");
 }
 
 double RusBoostClassifier::margin(std::span<const float> features) const {
   if (trees_.empty()) throw std::logic_error("RUSBoost: not fitted");
+  const FlatForest& flat = *flat_;
   double total = 0.0;
   for (std::size_t t = 0; t < trees_.size(); ++t) {
-    const double h = trees_[t].predict_proba(features) >= 0.5 ? 1.0 : -1.0;
+    const double h =
+        flat.predict_tree(t, features.data()) >= 0.5 ? 1.0 : -1.0;
     total += alphas_[t] * h;
   }
   return total;
@@ -120,9 +126,10 @@ double RusBoostClassifier::predict_proba(
   // Tie-break the coarse {-1,+1} votes with the trees' leaf probabilities so
   // the ranking is smooth enough for P-R sweeps.
   if (trees_.empty()) throw std::logic_error("RUSBoost: not fitted");
+  const FlatForest& flat = *flat_;
   double vote = 0.0, soft = 0.0;
   for (std::size_t t = 0; t < trees_.size(); ++t) {
-    const double p = trees_[t].predict_proba(features);
+    const double p = flat.predict_tree(t, features.data());
     vote += alphas_[t] * (p >= 0.5 ? 1.0 : -1.0);
     soft += alphas_[t] * (2.0 * p - 1.0);
   }

@@ -5,8 +5,10 @@
 // paper runs 100 boosting iterations.
 
 #include <cstdint>
+#include <memory>
 
 #include "core/decision_tree.hpp"
+#include "core/flat_forest.hpp"
 #include "ml/classifier.hpp"
 
 namespace drcshap {
@@ -41,6 +43,10 @@ class RusBoostClassifier final : public BinaryClassifier {
   RusBoostOptions options_;
   std::vector<DecisionTree> trees_;
   std::vector<double> alphas_;
+  /// SoA snapshot of the kept round trees, rebuilt at the end of fit();
+  /// margin/predict_proba walk this instead of the pointer-chasing
+  /// per-node structs (leaf values are identical, so outputs are too).
+  std::shared_ptr<const FlatForest> flat_;
   double alpha_total_ = 0.0;
 };
 

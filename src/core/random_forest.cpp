@@ -1,7 +1,9 @@
 #include "core/random_forest.hpp"
 
+#include <algorithm>
 #include <numeric>
 #include <stdexcept>
+#include <string>
 
 #include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
@@ -49,28 +51,99 @@ void RandomForestClassifier::fit(const Dataset& data) {
   };
 
   parallel_for_shared(trees_.size(), build_tree, options_.n_threads);
+  rebuild_engines();
+}
+
+void RandomForestClassifier::rebuild_engines() {
   flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
+  // The quantize/layout lowering is paid once per fit/deserialize; the
+  // timer lets run reports attribute it separately from tree training.
+  DRCSHAP_OBS_TIMER("forest/quantize_ms");
+  std::string reason;
+  compiled_ = CompiledForest::try_compile(*flat_, &reason);
+  if (compiled_ == nullptr) {
+    obs::note_set("forest/compile_skipped", reason);
+  }
+}
+
+ForestEngine RandomForestClassifier::resolve_engine(
+    ForestEngine requested) const {
+  if (requested == ForestEngine::kAuto) requested = forest_engine_from_env();
+  if (requested == ForestEngine::kAuto) {
+    requested =
+        compiled_ != nullptr ? ForestEngine::kCompiled : ForestEngine::kExact;
+  }
+  // Fallback guarantee: asking for the compiled engine on a model that did
+  // not quantize serves exact (identical output) instead of failing.
+  if (requested == ForestEngine::kCompiled && compiled_ == nullptr) {
+    requested = ForestEngine::kExact;
+  }
+  return requested;
 }
 
 double RandomForestClassifier::predict_proba(
     std::span<const float> features) const {
+  return predict_proba(features, ForestEngine::kAuto);
+}
+
+double RandomForestClassifier::predict_proba(std::span<const float> features,
+                                             ForestEngine engine) const {
   if (!fitted()) throw std::logic_error("RandomForest: not fitted");
   if (features.size() != flat_->n_features()) {
     throw std::invalid_argument("RandomForest: feature count mismatch");
+  }
+  // Auto picks per call shape: a lone sample pays the full quantization of
+  // every feature for a single descent, which costs more than the exact
+  // walk reads (~depth features) — so unless the environment or the caller
+  // pins the compiled engine, single-sample requests serve exact. Batches
+  // amortize quantization across all trees and go compiled (see
+  // predict_proba_all). Outputs are byte-identical either way.
+  ForestEngine chosen = engine;
+  if (chosen == ForestEngine::kAuto) chosen = forest_engine_from_env();
+  if (chosen == ForestEngine::kAuto) chosen = ForestEngine::kExact;
+  if (chosen == ForestEngine::kCompiled && compiled_ != nullptr) {
+    return compiled_->predict(features.data());
   }
   return flat_->predict(features.data());
 }
 
 std::vector<double> RandomForestClassifier::predict_proba_all(
     const Dataset& data) const {
+  return predict_proba_all(data, ForestEngine::kAuto);
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_all(
+    const Dataset& data, ForestEngine engine) const {
   if (!fitted()) throw std::logic_error("RandomForest: not fitted");
   if (data.n_features() != flat_->n_features()) {
     throw std::invalid_argument("RandomForest: feature count mismatch");
   }
+  const ForestEngine chosen = resolve_engine(engine);
   DRCSHAP_OBS_TIMER("forest/predict_all");
   obs::counter_add("forest/rows_scored", data.n_rows());
+  obs::note_set("forest/engine", forest_engine_name(chosen));
   std::vector<double> out(data.n_rows());
   if (out.empty()) return out;
+  if (chosen == ForestEngine::kCompiled) {
+    // Chunks of whole 8-lane blocks; each chunk quantizes and descends its
+    // rows independently, so results are position-keyed and bit-identical
+    // at any thread count.
+    const CompiledForest& compiled = *compiled_;
+    constexpr std::size_t kChunkRows = 64 * CompiledForest::kBlock;
+    const std::size_t n_chunks = (out.size() + kChunkRows - 1) / kChunkRows;
+    const float* rows = data.features_flat().data();
+    const std::size_t n_features = data.n_features();
+    parallel_for_shared(
+        n_chunks,
+        [&](std::size_t c) {
+          const std::size_t begin = c * kChunkRows;
+          const std::size_t count = std::min(kChunkRows, out.size() - begin);
+          compiled.predict_batch(rows + begin * n_features, count,
+                                 out.data() + begin);
+        },
+        options_.n_threads);
+    return out;
+  }
   const FlatForest& flat = *flat_;
   parallel_for_shared(
       out.size(),
@@ -119,7 +192,7 @@ void RandomForestClassifier::set_trees(std::vector<DecisionTree> trees,
   trees_ = std::move(trees);
   options_ = options;
   options_.n_trees = static_cast<int>(trees_.size());
-  flat_ = std::make_shared<FlatForest>(std::span<const DecisionTree>(trees_));
+  rebuild_engines();
 }
 
 }  // namespace drcshap

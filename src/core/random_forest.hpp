@@ -2,14 +2,22 @@
 // Random Forest classifier (Breiman 2001), the paper's proposed model:
 // bootstrap-sampled, feature-subsampled, unpruned CART trees whose leaf
 // probabilities are averaged. Tree training is embarrassingly parallel
-// (Section III-A's parallelism argument) via the shared thread pool, and a
-// flattened SoA view of the fitted ensemble (rebuilt on fit/deserialize)
-// backs batched prediction and the SHAP tree explainer.
+// (Section III-A's parallelism argument) via the shared thread pool.
+//
+// Two inference engines back every fitted model, rebuilt on fit and on
+// deserialization: the *exact* FlatForest SoA walk (the reference oracle,
+// also the substrate of the SHAP tree explainer) and the *compiled*
+// CompiledForest layout (quantized thresholds, breadth-first branch-free
+// descent, batch-of-8 SIMD kernel). Both return byte-identical
+// probabilities; see core/forest_engine.hpp for how a backend is chosen
+// per call or via $DRCSHAP_FOREST_ENGINE.
 
 #include <memory>
 
+#include "core/compiled_forest.hpp"
 #include "core/decision_tree.hpp"
 #include "core/flat_forest.hpp"
+#include "core/forest_engine.hpp"
 #include "ml/classifier.hpp"
 
 namespace drcshap {
@@ -42,7 +50,24 @@ class RandomForestClassifier final : public BinaryClassifier {
   /// options().n_threads workers), each accumulating its trees in fixed
   /// order, so the result is identical to the per-row loop for any thread
   /// count. Cross-validation and grid search call this on every fold.
+  /// Served by the engine $DRCSHAP_FOREST_ENGINE selects (default: compiled
+  /// when available); the engine note/counters in the run report record
+  /// which backend ran.
   std::vector<double> predict_proba_all(const Dataset& data) const override;
+
+  /// Same, with the backend pinned per call (kAuto = env/default rules).
+  /// Every engine returns byte-identical probabilities.
+  std::vector<double> predict_proba_all(const Dataset& data,
+                                        ForestEngine engine) const;
+
+  /// Single-sample scoring with the backend pinned per call.
+  double predict_proba(std::span<const float> features,
+                       ForestEngine engine) const;
+
+  /// The backend a request for `requested` would actually run: applies the
+  /// $DRCSHAP_FOREST_ENGINE default to kAuto and falls back to kExact when
+  /// the fitted model has no compiled layout.
+  ForestEngine resolve_engine(ForestEngine requested) const;
 
   std::size_t n_parameters() const override;
   std::size_t prediction_ops() const override;
@@ -57,6 +82,15 @@ class RandomForestClassifier final : public BinaryClassifier {
   const FlatForest& flat() const;
   std::shared_ptr<const FlatForest> flat_shared() const;
 
+  /// Compiled (quantized, breadth-first) layout of the fitted ensemble, or
+  /// nullptr when the model could not be quantized (then every call serves
+  /// from the exact engine). The shared_ptr form lets explainers outlive a
+  /// refit, like flat_shared().
+  const CompiledForest* compiled() const { return compiled_.get(); }
+  std::shared_ptr<const CompiledForest> compiled_shared() const {
+    return compiled_;
+  }
+
   /// Cover-weighted mean prediction over training data: the SHAP base value.
   double expected_value() const;
 
@@ -64,9 +98,13 @@ class RandomForestClassifier final : public BinaryClassifier {
   void set_trees(std::vector<DecisionTree> trees, RandomForestOptions options);
 
  private:
+  /// Rebuilds both inference engines from trees_ (fit / set_trees).
+  void rebuild_engines();
+
   RandomForestOptions options_;
   std::vector<DecisionTree> trees_;
   std::shared_ptr<const FlatForest> flat_;
+  std::shared_ptr<const CompiledForest> compiled_;
 };
 
 }  // namespace drcshap

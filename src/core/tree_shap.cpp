@@ -1,6 +1,7 @@
 #include "core/tree_shap.hpp"
 
 #include <algorithm>
+#include <cstdint>
 #include <stdexcept>
 
 #include "obs/registry.hpp"
@@ -82,11 +83,15 @@ double unwound_path_sum(const PathElement* path, int unique_depth,
   return total;
 }
 
-// Raw-pointer view of one FlatForest plus the per-traversal state: the
-// sample, the phi accumulator, and the path scratch. Recursion level L uses
-// the scratch slot starting at L * stride; a repeated feature shrinks
-// unique_depth without changing the level, so slots are keyed by level.
-struct FlatShapContext {
+// The recursion below is generic over how the ensemble is laid out. Both
+// traversals expose the same split decisions — the compiled one compares
+// the sample's u16 codes against quantized thresholds, which the monotone
+// bucketization makes exactly equivalent to the float compare — and both
+// read the same value/cover doubles, so the SHAP arithmetic (and therefore
+// every output bit) is independent of which layout ran.
+
+/// FlatForest arrays + the raw sample: the exact reference traversal.
+struct ExactTraversal {
   const std::int32_t* feature;
   const float* threshold;
   const std::int32_t* left;
@@ -94,16 +99,57 @@ struct FlatShapContext {
   const double* value;
   const double* cover;
   const float* x;
+
+  bool is_leaf(std::size_t node) const { return feature[node] < 0; }
+  std::int32_t split_feature(std::size_t node) const { return feature[node]; }
+  bool goes_left(std::size_t node) const {
+    return x[static_cast<std::size_t>(feature[node])] <= threshold[node];
+  }
+  std::int32_t left_child(std::size_t node) const { return left[node]; }
+  std::int32_t right_child(std::size_t node) const { return right[node]; }
+};
+
+/// CompiledForest breadth-first child/feature arrays + the sample's
+/// quantized codes. Children are adjacent (one array instead of two) and a
+/// leaf self-loops, so the hot path touches fewer, denser cache lines.
+struct CompiledTraversal {
+  const std::int32_t* feature;
+  const std::int32_t* qthreshold;
+  const std::int32_t* child;
+  const double* value;
+  const double* cover;
+  const std::uint16_t* qx;
+
+  bool is_leaf(std::size_t node) const {
+    return child[node] == static_cast<std::int32_t>(node);
+  }
+  std::int32_t split_feature(std::size_t node) const { return feature[node]; }
+  bool goes_left(std::size_t node) const {
+    return static_cast<std::int32_t>(
+               qx[static_cast<std::size_t>(feature[node])]) <=
+           qthreshold[node];
+  }
+  std::int32_t left_child(std::size_t node) const { return child[node]; }
+  std::int32_t right_child(std::size_t node) const { return child[node] + 1; }
+};
+
+// Per-traversal state: the phi accumulator and the path scratch. Recursion
+// level L uses the scratch slot starting at L * stride; a repeated feature
+// shrinks unique_depth without changing the level, so slots are keyed by
+// level.
+template <class Traversal>
+struct ShapContext {
+  Traversal tree;
   double* phi;
   PathElement* path_storage;
   int stride;
 };
 
-void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
-                       int level, int unique_depth,
-                       const PathElement* parent_path,
-                       double parent_zero_fraction,
-                       double parent_one_fraction, int parent_feature_index) {
+template <class Traversal>
+void shap_recurse(const ShapContext<Traversal>& ctx, std::int32_t node_index,
+                  int level, int unique_depth, const PathElement* parent_path,
+                  double parent_zero_fraction, double parent_one_fraction,
+                  int parent_feature_index) {
   // Copy the parent's path into this level's slot, then extend it.
   PathElement* path = ctx.path_storage +
                       static_cast<std::size_t>(level) *
@@ -113,10 +159,9 @@ void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
               parent_feature_index);
 
   const auto node = static_cast<std::size_t>(node_index);
-  const std::int32_t feature = ctx.feature[node];
-  if (feature < 0) {
+  if (ctx.tree.is_leaf(node)) {
     // Leaf: attribute to every feature on the unique path.
-    const double leaf_value = ctx.value[node];
+    const double leaf_value = ctx.tree.value[node];
     for (int i = 1; i <= unique_depth; ++i) {
       const double w = unwound_path_sum(path, unique_depth, i);
       ctx.phi[static_cast<std::size_t>(path[i].feature_index)] +=
@@ -125,14 +170,14 @@ void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
     return;
   }
 
-  const std::int32_t left = ctx.left[node];
-  const std::int32_t right = ctx.right[node];
-  const bool goes_left =
-      ctx.x[static_cast<std::size_t>(feature)] <= ctx.threshold[node];
+  const std::int32_t feature = ctx.tree.split_feature(node);
+  const bool goes_left = ctx.tree.goes_left(node);
+  const std::int32_t left = ctx.tree.left_child(node);
+  const std::int32_t right = ctx.tree.right_child(node);
   const std::int32_t hot = goes_left ? left : right;
   const std::int32_t cold = goes_left ? right : left;
-  const double hot_cover = ctx.cover[static_cast<std::size_t>(hot)];
-  const double cold_cover = ctx.cover[static_cast<std::size_t>(cold)];
+  const double hot_cover = ctx.tree.cover[static_cast<std::size_t>(hot)];
+  const double cold_cover = ctx.tree.cover[static_cast<std::size_t>(cold)];
 
   double incoming_zero_fraction = 1.0;
   double incoming_one_fraction = 1.0;
@@ -150,12 +195,12 @@ void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
     depth_after = unique_depth - 1;
   }
 
-  const double cover = ctx.cover[node];
-  flat_shap_recurse(ctx, hot, level + 1, depth_after + 1, path,
-                    hot_cover / cover * incoming_zero_fraction,
-                    incoming_one_fraction, feature);
-  flat_shap_recurse(ctx, cold, level + 1, depth_after + 1, path,
-                    cold_cover / cover * incoming_zero_fraction, 0.0, feature);
+  const double cover = ctx.tree.cover[node];
+  shap_recurse(ctx, hot, level + 1, depth_after + 1, path,
+               hot_cover / cover * incoming_zero_fraction,
+               incoming_one_fraction, feature);
+  shap_recurse(ctx, cold, level + 1, depth_after + 1, path,
+               cold_cover / cover * incoming_zero_fraction, 0.0, feature);
 }
 
 /// Accumulate one tree's SHAP values for `x` into `phi` (not normalized).
@@ -163,12 +208,28 @@ void flat_shap_recurse(const FlatShapContext& ctx, std::int32_t node_index,
 /// stride >= forest.max_depth() + 2.
 void flat_tree_shap(const FlatForest& forest, std::size_t tree, const float* x,
                     double* phi, PathElement* path_storage, int stride) {
-  FlatShapContext ctx{forest.feature(), forest.threshold(), forest.left(),
-                      forest.right(),   forest.value(),     forest.cover(),
-                      x,                phi,                path_storage,
-                      stride};
-  flat_shap_recurse(ctx, forest.root(tree), /*level=*/0, /*unique_depth=*/0,
-                    /*parent_path=*/nullptr, 1.0, 1.0, -1);
+  ShapContext<ExactTraversal> ctx{
+      {forest.feature(), forest.threshold(), forest.left(), forest.right(),
+       forest.value(), forest.cover(), x},
+      phi,
+      path_storage,
+      stride};
+  shap_recurse(ctx, forest.root(tree), /*level=*/0, /*unique_depth=*/0,
+               /*parent_path=*/nullptr, 1.0, 1.0, -1);
+}
+
+/// Same, over the compiled breadth-first layout with pre-quantized codes.
+void compiled_tree_shap(const CompiledForest& forest, std::size_t tree,
+                        const std::uint16_t* codes, double* phi,
+                        PathElement* path_storage, int stride) {
+  ShapContext<CompiledTraversal> ctx{
+      {forest.feature(), forest.qthreshold(), forest.child(), forest.value(),
+       forest.cover(), codes},
+      phi,
+      path_storage,
+      stride};
+  shap_recurse(ctx, forest.root(tree), /*level=*/0, /*unique_depth=*/0,
+               /*parent_path=*/nullptr, 1.0, 1.0, -1);
 }
 
 /// Scratch sizing for one forest: a level-L path holds <= L+1 elements.
@@ -208,7 +269,18 @@ TreeShapExplainer::TreeShapExplainer(const RandomForestClassifier& forest) {
     throw std::invalid_argument("TreeShapExplainer: forest not fitted");
   }
   flat_ = forest.flat_shared();
+  compiled_ = forest.compiled_shared();
   base_value_ = forest.expected_value();
+}
+
+bool TreeShapExplainer::use_compiled() const {
+  ForestEngine engine = engine_;
+  if (engine == ForestEngine::kAuto) engine = forest_engine_from_env();
+  if (engine == ForestEngine::kAuto) {
+    engine = compiled_ != nullptr ? ForestEngine::kCompiled
+                                  : ForestEngine::kExact;
+  }
+  return engine == ForestEngine::kCompiled && compiled_ != nullptr;
 }
 
 std::vector<double> TreeShapExplainer::shap_values(
@@ -222,8 +294,19 @@ std::vector<double> TreeShapExplainer::shap_values(
   std::vector<double> phi(flat.n_features(), 0.0);
   std::vector<PathElement> path(path_scratch_len(flat));
   const int stride = flat.max_depth() + 2;
-  for (std::size_t t = 0; t < flat.n_trees(); ++t) {
-    flat_tree_shap(flat, t, features.data(), phi.data(), path.data(), stride);
+  if (use_compiled()) {
+    const CompiledForest& compiled = *compiled_;
+    std::vector<std::uint16_t> codes(flat.n_features());
+    compiled.quantize_sample(features.data(), codes.data());
+    for (std::size_t t = 0; t < flat.n_trees(); ++t) {
+      compiled_tree_shap(compiled, t, codes.data(), phi.data(), path.data(),
+                         stride);
+    }
+  } else {
+    for (std::size_t t = 0; t < flat.n_trees(); ++t) {
+      flat_tree_shap(flat, t, features.data(), phi.data(), path.data(),
+                     stride);
+    }
   }
   const double inv = 1.0 / static_cast<double>(flat.n_trees());
   for (double& v : phi) v *= inv;
@@ -250,6 +333,10 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   DRCSHAP_OBS_TIMER("shap/values_batch");
   obs::counter_add("shap/batch_samples", n_rows);
   obs::counter_add("shap/tree_traversals", n_rows * flat.n_trees());
+  // Pin the traversal engine once per batch; the note lets run reports show
+  // which layout served the explanation pass.
+  const CompiledForest* compiled = use_compiled() ? compiled_.get() : nullptr;
+  obs::note_set("shap/engine", compiled != nullptr ? "compiled" : "exact");
   ShapMatrix out;
   out.n_rows = n_rows;
   out.n_features = n_features;
@@ -263,21 +350,47 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   const std::size_t scratch_len = path_scratch_len(flat);
 
   ThreadPool& pool = ThreadPool::global();
-  // One scratch slot per shared-pool worker. Ranges may also run inline on
-  // the calling thread (worker index -1 when it is not a pool worker), but
-  // only when nothing was submitted — a serial-degraded nested call runs
-  // entirely on its outer worker, and a top-level inline run has no workers
-  // active in this call — so a slot is never contended within one call.
-  std::vector<std::vector<PathElement>> scratch(pool.size());
-  auto worker_path = [&]() -> PathElement* {
+  // One scratch slot per shared-pool worker: the Algorithm-2 path storage
+  // plus, for the compiled engine, the sample's quantized codes. Ranges may
+  // also run inline on the calling thread (worker index -1 when it is not a
+  // pool worker), but only when nothing was submitted — a serial-degraded
+  // nested call runs entirely on its outer worker, and a top-level inline
+  // run has no workers active in this call — so a slot is never contended
+  // within one call.
+  struct WorkerScratch {
+    std::vector<PathElement> path;
+    std::vector<std::uint16_t> codes;
+  };
+  std::vector<WorkerScratch> scratch(pool.size());
+  auto worker_scratch = [&]() -> WorkerScratch& {
     const int w = ThreadPool::current_worker_index();
     const std::size_t slot =
         (w < 0 || static_cast<std::size_t>(w) >= scratch.size())
             ? 0
             : static_cast<std::size_t>(w);
-    auto& buf = scratch[slot];
-    if (buf.size() < scratch_len) buf.assign(scratch_len, PathElement{});
-    return buf.data();
+    WorkerScratch& ws = scratch[slot];
+    if (ws.path.size() < scratch_len) ws.path.assign(scratch_len, {});
+    if (compiled != nullptr && ws.codes.size() < n_features) {
+      ws.codes.resize(n_features);
+    }
+    return ws;
+  };
+  // Accumulate trees [t_begin, t_end) for sample `x` into `phi` in fixed
+  // tree order, over whichever layout the engine selected.
+  auto accumulate_trees = [&](const float* x, double* phi,
+                              std::size_t t_begin, std::size_t t_end) {
+    WorkerScratch& ws = worker_scratch();
+    if (compiled != nullptr) {
+      compiled->quantize_sample(x, ws.codes.data());
+      for (std::size_t t = t_begin; t < t_end; ++t) {
+        compiled_tree_shap(*compiled, t, ws.codes.data(), phi,
+                           ws.path.data(), stride);
+      }
+    } else {
+      for (std::size_t t = t_begin; t < t_end; ++t) {
+        flat_tree_shap(flat, t, x, phi, ws.path.data(), stride);
+      }
+    }
   };
 
   if (n_blocks == 1) {
@@ -286,12 +399,9 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
     pool.parallel_for(
         n_rows,
         [&](std::size_t s) {
-          PathElement* path = worker_path();
           const float* x = features.data() + s * n_features;
           double* phi = out.values.data() + s * n_features;
-          for (std::size_t t = 0; t < n_trees; ++t) {
-            flat_tree_shap(flat, t, x, phi, path, stride);
-          }
+          accumulate_trees(x, phi, 0, n_trees);
           for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
         },
         /*grain=*/0, /*max_workers=*/n_threads);
@@ -314,15 +424,12 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
         [&](std::size_t unit) {
           const std::size_t local = unit / n_blocks;
           const std::size_t block = unit % n_blocks;
-          PathElement* path = worker_path();
           const float* x = features.data() + (begin + local) * n_features;
           double* phi =
               partial.data() + (local * n_blocks + block) * n_features;
           const std::size_t t_begin = block * kTreesPerBlock;
           const std::size_t t_end = std::min(n_trees, t_begin + kTreesPerBlock);
-          for (std::size_t t = t_begin; t < t_end; ++t) {
-            flat_tree_shap(flat, t, x, phi, path, stride);
-          }
+          accumulate_trees(x, phi, t_begin, t_end);
         },
         /*grain=*/0, /*max_workers=*/n_threads);
     pool.parallel_for(

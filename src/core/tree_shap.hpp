@@ -18,6 +18,14 @@
 // pool with per-worker path scratch, and merges per-block partial phi
 // vectors in fixed tree order — the accumulation structure depends only on
 // the ensemble, so results are bit-identical for any thread count.
+//
+// Like inference, the traversal itself is pluggable (core/forest_engine.hpp):
+// the explainer snapshots the forest's compiled breadth-first layout next to
+// the exact FlatForest one and, when available, walks the cached
+// child/feature arrays with the sample quantized once into u16 codes. The
+// monotone quantization preserves every split decision and both layouts
+// carry the same value/cover doubles, so SHAP outputs are byte-identical
+// whichever engine runs.
 
 #include <cstddef>
 #include <memory>
@@ -42,9 +50,16 @@ struct ShapMatrix {
 
 class TreeShapExplainer {
  public:
-  /// Snapshots the forest's flattened SoA view; the explainer stays valid
-  /// even if the forest is refit afterwards.
+  /// Snapshots the forest's flattened SoA view (and its compiled layout
+  /// when one was built); the explainer stays valid even if the forest is
+  /// refit afterwards.
   explicit TreeShapExplainer(const RandomForestClassifier& forest);
+
+  /// Selects the traversal engine for subsequent shap_values* calls.
+  /// kAuto (the default) defers to $DRCSHAP_FOREST_ENGINE and then prefers
+  /// the compiled layout when available; kCompiled without a compiled
+  /// layout falls back to exact. Outputs are byte-identical either way.
+  void set_engine(ForestEngine engine) { engine_ = engine; }
 
   /// E[f(x)] over the training distribution (cover-weighted).
   double base_value() const { return base_value_; }
@@ -72,8 +87,13 @@ class TreeShapExplainer {
                                               std::span<const float> features);
 
  private:
+  /// True when the next traversal should walk the compiled layout.
+  bool use_compiled() const;
+
   std::shared_ptr<const FlatForest> flat_;
+  std::shared_ptr<const CompiledForest> compiled_;
   double base_value_;
+  ForestEngine engine_ = ForestEngine::kAuto;
 };
 
 }  // namespace drcshap

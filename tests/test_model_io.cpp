@@ -3,6 +3,7 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstring>
 #include <fstream>
 #include <sstream>
 
@@ -57,6 +58,36 @@ TEST(ModelIo, RoundTripPreservesShapValues) {
   for (std::size_t f = 0; f < 4; ++f) {
     EXPECT_DOUBLE_EQ(phi_a[f], phi_b[f]);
   }
+}
+
+TEST(ModelIo, RoundTripRebuildsIdenticalCompiledLayout) {
+  // Loading a saved model must rebuild the compiled inference layout
+  // deterministically: same quantization cuts, same breadth-first node
+  // arrays, hence the same digest — and byte-identical batch predictions
+  // from both engines.
+  const RandomForestClassifier original = fitted_forest();
+  std::stringstream buffer;
+  save_forest(original, buffer);
+  const RandomForestClassifier loaded = load_forest(buffer);
+
+  ASSERT_NE(original.compiled(), nullptr);
+  ASSERT_NE(loaded.compiled(), nullptr);
+  EXPECT_EQ(original.compiled()->layout_digest(),
+            loaded.compiled()->layout_digest());
+
+  Dataset eval(4);
+  Rng rng(7);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<float> x(4);
+    for (auto& v : x) v = static_cast<float>(rng.uniform());
+    eval.append_row(x, 0, 0);
+  }
+  const auto exact = original.predict_proba_all(eval, ForestEngine::kExact);
+  const auto compiled =
+      loaded.predict_proba_all(eval, ForestEngine::kCompiled);
+  ASSERT_EQ(exact.size(), compiled.size());
+  EXPECT_TRUE(std::memcmp(exact.data(), compiled.data(),
+                          exact.size() * sizeof(double)) == 0);
 }
 
 TEST(ModelIo, FileRoundTrip) {

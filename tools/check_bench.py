@@ -20,13 +20,21 @@ baseline * (1 + tolerance); faster-than-baseline results only warn when
 they are suspiciously fast (more than `tolerance` below baseline), since
 that usually means the baseline is stale.
 
-Exit status: 0 = pass, 1 = regression or no overlap, 2 = usage/IO error.
+--require REGEX hardens a gate against silent shrinkage: every baseline
+benchmark whose name matches the regex must be present in the candidate
+report, otherwise the gate fails (exit 2) with a one-line diagnosis. CI
+passes a --require matching each job's --benchmark_filter, so deleting or
+renaming a gated benchmark can never slip through as "0 skipped, OK".
+
+Exit status: 0 = pass, 1 = regression or no overlap, 2 = usage/IO error or
+a --require'd benchmark missing from the candidate report.
 """
 
 from __future__ import annotations
 
 import argparse
 import json
+import re
 import sys
 
 TO_MS = {"ns": 1e-6, "us": 1e-3, "ms": 1.0, "s": 1e3}
@@ -119,7 +127,15 @@ def main() -> int:
                         help="which time to gate on; cpu is robust to "
                              "runner load but meaningless for UseRealTime "
                              "thread-pool benches (default real)")
+    parser.add_argument("--require", metavar="REGEX", default=None,
+                        help="baseline benchmarks matching REGEX must be "
+                             "present in the report, else fail (exit 2)")
     args = parser.parse_args()
+    try:
+        required = re.compile(args.require) if args.require else None
+    except re.error as err:
+        print(f"check_bench: bad --require regex: {err}", file=sys.stderr)
+        return 2
 
     try:
         baseline = load_baseline(args.baseline, args.metric)
@@ -130,6 +146,16 @@ def main() -> int:
     except (OSError, json.JSONDecodeError, KeyError) as err:
         print(f"check_bench: cannot load inputs: {err}", file=sys.stderr)
         return 2
+
+    if required is not None:
+        missing = sorted(name for name in baseline
+                         if required.search(name) and name not in candidate)
+        if missing:
+            print(f"check_bench: FAIL — {len(missing)} required baseline "
+                  f"benchmark(s) missing from {args.report} (deleted, "
+                  f"renamed, or filtered out?): {', '.join(missing)}",
+                  file=sys.stderr)
+            return 2
 
     common = sorted(set(baseline) & set(candidate))
     if not common:
