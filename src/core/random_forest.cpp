@@ -118,11 +118,23 @@ std::vector<double> RandomForestClassifier::predict_proba_all(
   if (data.n_features() != flat_->n_features()) {
     throw std::invalid_argument("RandomForest: feature count mismatch");
   }
+  return predict_proba_all(std::span<const float>(data.features_flat()),
+                           data.n_rows(), engine);
+}
+
+std::vector<double> RandomForestClassifier::predict_proba_all(
+    std::span<const float> features, std::size_t n_rows,
+    ForestEngine engine) const {
+  if (!fitted()) throw std::logic_error("RandomForest: not fitted");
+  const std::size_t n_features = flat_->n_features();
+  if (features.size() != n_rows * n_features) {
+    throw std::invalid_argument("RandomForest: feature count mismatch");
+  }
   const ForestEngine chosen = resolve_engine(engine);
   DRCSHAP_OBS_TIMER("forest/predict_all");
-  obs::counter_add("forest/rows_scored", data.n_rows());
+  obs::counter_add("forest/rows_scored", n_rows);
   obs::note_set("forest/engine", forest_engine_name(chosen));
-  std::vector<double> out(data.n_rows());
+  std::vector<double> out(n_rows);
   if (out.empty()) return out;
   if (chosen == ForestEngine::kCompiled) {
     // Chunks of whole 8-lane blocks; each chunk quantizes and descends its
@@ -131,8 +143,7 @@ std::vector<double> RandomForestClassifier::predict_proba_all(
     const CompiledForest& compiled = *compiled_;
     constexpr std::size_t kChunkRows = 64 * CompiledForest::kBlock;
     const std::size_t n_chunks = (out.size() + kChunkRows - 1) / kChunkRows;
-    const float* rows = data.features_flat().data();
-    const std::size_t n_features = data.n_features();
+    const float* rows = features.data();
     parallel_for_shared(
         n_chunks,
         [&](std::size_t c) {
@@ -145,9 +156,10 @@ std::vector<double> RandomForestClassifier::predict_proba_all(
     return out;
   }
   const FlatForest& flat = *flat_;
+  const float* rows = features.data();
   parallel_for_shared(
       out.size(),
-      [&](std::size_t i) { out[i] = flat.predict(data.row(i).data()); },
+      [&](std::size_t i) { out[i] = flat.predict(rows + i * n_features); },
       options_.n_threads);
   return out;
 }

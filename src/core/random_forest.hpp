@@ -60,6 +60,14 @@ class RandomForestClassifier final : public BinaryClassifier {
   std::vector<double> predict_proba_all(const Dataset& data,
                                         ForestEngine engine) const;
 
+  /// Same, over a raw row-major n_rows x n_features float matrix — no
+  /// Dataset wrapper, so the serving layer can score request batches
+  /// straight off the wire. Byte-identical to the Dataset overload row for
+  /// row (both delegate to the same engine dispatch).
+  std::vector<double> predict_proba_all(std::span<const float> features,
+                                        std::size_t n_rows,
+                                        ForestEngine engine) const;
+
   /// Single-sample scoring with the backend pinned per call.
   double predict_proba(std::span<const float> features,
                        ForestEngine engine) const;

@@ -1,0 +1,363 @@
+#include "serve/protocol.hpp"
+
+#include <unistd.h>
+
+#include <bit>
+#include <cerrno>
+#include <cstring>
+
+namespace drcshap::serve {
+
+// The codecs memcpy host-representation integers/floats onto the wire.
+static_assert(std::endian::native == std::endian::little,
+              "drcshap_serve wire protocol assumes a little-endian host");
+
+namespace {
+
+Status corrupt(const std::string& why) {
+  return {StatusCode::kCorrupt, "protocol: " + why};
+}
+
+void put_u8(std::string& out, std::uint8_t v) {
+  out.push_back(static_cast<char>(v));
+}
+
+void put_u32(std::string& out, std::uint32_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_u64(std::string& out, std::uint64_t v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_f64(std::string& out, double v) {
+  out.append(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+void put_string(std::string& out, std::string_view text) {
+  put_u32(out, static_cast<std::uint32_t>(text.size()));
+  out.append(text);
+}
+
+template <typename T>
+void put_span(std::string& out, const std::vector<T>& values) {
+  out.append(reinterpret_cast<const char*>(values.data()),
+             values.size() * sizeof(T));
+}
+
+/// Sequential reader over a body; every take_* fails softly so the decoders
+/// can return one typed kCorrupt instead of reading out of bounds.
+class Cursor {
+ public:
+  explicit Cursor(std::string_view body) : p_(body.data()), n_(body.size()) {}
+
+  std::size_t remaining() const { return n_; }
+
+  bool take_raw(void* out, std::size_t bytes) {
+    if (bytes > n_) return false;
+    std::memcpy(out, p_, bytes);
+    p_ += bytes;
+    n_ -= bytes;
+    return true;
+  }
+
+  bool take_u8(std::uint8_t* v) { return take_raw(v, sizeof(*v)); }
+  bool take_u32(std::uint32_t* v) { return take_raw(v, sizeof(*v)); }
+  bool take_u64(std::uint64_t* v) { return take_raw(v, sizeof(*v)); }
+  bool take_f64(double* v) { return take_raw(v, sizeof(*v)); }
+
+  bool take_string(std::string* out) {
+    std::uint32_t len = 0;
+    if (!take_u32(&len) || len > n_) return false;
+    out->assign(p_, len);
+    p_ += len;
+    n_ -= len;
+    return true;
+  }
+
+  template <typename T>
+  bool take_values(std::vector<T>* out, std::size_t count) {
+    const std::size_t bytes = count * sizeof(T);
+    if (bytes > n_) return false;
+    out->resize(count);
+    return take_raw(out->data(), bytes);
+  }
+
+ private:
+  const char* p_;
+  std::size_t n_;
+};
+
+Status check_matrix_header(std::uint32_t n_rows, std::uint32_t n_features) {
+  if (n_rows == 0 || n_rows > kMaxRowsPerRequest) {
+    return corrupt("row count " + std::to_string(n_rows) + " out of range");
+  }
+  if (n_features == 0 || n_features > kMaxFeaturesPerRow) {
+    return corrupt("feature count " + std::to_string(n_features) +
+                   " out of range");
+  }
+  return Status::ok_status();
+}
+
+}  // namespace
+
+std::string_view verb_name(Verb verb) {
+  switch (verb) {
+    case Verb::kScore: return "score";
+    case Verb::kExplain: return "explain";
+    case Verb::kReload: return "reload";
+    case Verb::kStats: return "stats";
+    case Verb::kShutdown: return "shutdown";
+  }
+  return "unknown";
+}
+
+Response error_response(std::uint64_t id, Verb verb, StatusCode code,
+                        std::string message) {
+  Response response;
+  response.id = id;
+  response.verb = verb;
+  response.status = code;
+  response.message = std::move(message);
+  return response;
+}
+
+std::string encode_request(const Request& request) {
+  std::string out;
+  put_u64(out, request.id);
+  put_u8(out, static_cast<std::uint8_t>(request.verb));
+  switch (request.verb) {
+    case Verb::kScore:
+    case Verb::kExplain:
+      put_u32(out, request.n_rows);
+      put_u32(out, request.n_features);
+      put_span(out, request.features);
+      break;
+    case Verb::kReload:
+      put_string(out, request.text);
+      break;
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  return out;
+}
+
+std::string encode_response(const Response& response) {
+  std::string out;
+  put_u64(out, response.id);
+  put_u8(out, static_cast<std::uint8_t>(response.verb));
+  put_u8(out, static_cast<std::uint8_t>(response.status));
+  if (response.status != StatusCode::kOk) {
+    put_string(out, response.message);
+    return out;
+  }
+  switch (response.verb) {
+    case Verb::kScore:
+      put_u32(out, response.n_rows);
+      put_span(out, response.values);
+      break;
+    case Verb::kExplain:
+      put_u32(out, response.n_rows);
+      put_u32(out, response.n_features);
+      put_f64(out, response.base_value);
+      put_span(out, response.values);
+      break;
+    case Verb::kReload:
+    case Verb::kStats:
+      put_string(out, response.text);
+      break;
+    case Verb::kShutdown:
+      break;
+  }
+  return out;
+}
+
+StatusOr<Request> decode_request(std::string_view body) {
+  Cursor cursor(body);
+  Request request;
+  std::uint8_t verb = 0;
+  if (!cursor.take_u64(&request.id) || !cursor.take_u8(&verb)) {
+    return corrupt("request header truncated");
+  }
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+    return corrupt("unknown verb " + std::to_string(verb));
+  }
+  request.verb = static_cast<Verb>(verb);
+  switch (request.verb) {
+    case Verb::kScore:
+    case Verb::kExplain: {
+      if (!cursor.take_u32(&request.n_rows) ||
+          !cursor.take_u32(&request.n_features)) {
+        return corrupt("matrix header truncated");
+      }
+      const Status header =
+          check_matrix_header(request.n_rows, request.n_features);
+      if (!header.ok()) return header;
+      const std::size_t count =
+          std::size_t{request.n_rows} * request.n_features;
+      if (!cursor.take_values(&request.features, count)) {
+        return corrupt("feature matrix truncated");
+      }
+      break;
+    }
+    case Verb::kReload:
+      if (!cursor.take_string(&request.text)) {
+        return corrupt("reload path truncated");
+      }
+      break;
+    case Verb::kStats:
+    case Verb::kShutdown:
+      break;
+  }
+  if (cursor.remaining() != 0) {
+    return corrupt(std::to_string(cursor.remaining()) +
+                   " trailing bytes after request payload");
+  }
+  return request;
+}
+
+StatusOr<Response> decode_response(std::string_view body) {
+  Cursor cursor(body);
+  Response response;
+  std::uint8_t verb = 0;
+  std::uint8_t status = 0;
+  if (!cursor.take_u64(&response.id) || !cursor.take_u8(&verb) ||
+      !cursor.take_u8(&status)) {
+    return corrupt("response header truncated");
+  }
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+    return corrupt("unknown verb " + std::to_string(verb));
+  }
+  if (status > static_cast<std::uint8_t>(StatusCode::kFault)) {
+    return corrupt("unknown status " + std::to_string(status));
+  }
+  response.verb = static_cast<Verb>(verb);
+  response.status = static_cast<StatusCode>(status);
+  if (response.status != StatusCode::kOk) {
+    if (!cursor.take_string(&response.message)) {
+      return corrupt("error message truncated");
+    }
+    if (cursor.remaining() != 0) return corrupt("trailing bytes after error");
+    return response;
+  }
+  switch (response.verb) {
+    case Verb::kScore: {
+      if (!cursor.take_u32(&response.n_rows)) {
+        return corrupt("score reply header truncated");
+      }
+      if (response.n_rows > kMaxRowsPerRequest) {
+        return corrupt("score reply row count out of range");
+      }
+      if (!cursor.take_values(&response.values, response.n_rows)) {
+        return corrupt("score reply truncated");
+      }
+      break;
+    }
+    case Verb::kExplain: {
+      if (!cursor.take_u32(&response.n_rows) ||
+          !cursor.take_u32(&response.n_features) ||
+          !cursor.take_f64(&response.base_value)) {
+        return corrupt("explain reply header truncated");
+      }
+      const Status header =
+          check_matrix_header(response.n_rows, response.n_features);
+      if (!header.ok()) return header;
+      const std::size_t count =
+          std::size_t{response.n_rows} * response.n_features;
+      if (!cursor.take_values(&response.values, count)) {
+        return corrupt("explain reply truncated");
+      }
+      break;
+    }
+    case Verb::kReload:
+    case Verb::kStats:
+      if (!cursor.take_string(&response.text)) {
+        return corrupt("text reply truncated");
+      }
+      break;
+    case Verb::kShutdown:
+      break;
+  }
+  if (cursor.remaining() != 0) {
+    return corrupt(std::to_string(cursor.remaining()) +
+                   " trailing bytes after response payload");
+  }
+  return response;
+}
+
+std::uint64_t peek_request_id(std::string_view body) {
+  std::uint64_t id = 0;
+  if (body.size() >= sizeof(id)) std::memcpy(&id, body.data(), sizeof(id));
+  return id;
+}
+
+Status write_frame(int fd, std::string_view body) {
+  if (body.size() > kMaxFrameBytes) {
+    return {StatusCode::kInvalid, "protocol: frame exceeds kMaxFrameBytes"};
+  }
+  std::string frame;
+  frame.reserve(sizeof(std::uint32_t) + body.size());
+  put_u32(frame, static_cast<std::uint32_t>(body.size()));
+  frame.append(body);
+  const char* p = frame.data();
+  std::size_t left = frame.size();
+  while (left > 0) {
+    const ssize_t n = ::write(fd, p, left);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return {StatusCode::kIoError,
+              std::string("protocol: write failed: ") + std::strerror(errno)};
+    }
+    p += n;
+    left -= static_cast<std::size_t>(n);
+  }
+  return Status::ok_status();
+}
+
+namespace {
+
+/// Reads exactly `bytes`; 0 = ok, 1 = clean EOF before any byte, -1 = error,
+/// 2 = EOF mid-read.
+int read_exact(int fd, void* out, std::size_t bytes) {
+  char* p = static_cast<char*>(out);
+  std::size_t got = 0;
+  while (got < bytes) {
+    const ssize_t n = ::read(fd, p + got, bytes - got);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return -1;
+    }
+    if (n == 0) return got == 0 ? 1 : 2;
+    got += static_cast<std::size_t>(n);
+  }
+  return 0;
+}
+
+}  // namespace
+
+StatusOr<std::string> read_frame(int fd) {
+  std::uint32_t body_bytes = 0;
+  switch (read_exact(fd, &body_bytes, sizeof(body_bytes))) {
+    case 0: break;
+    case 1: return Status{StatusCode::kNotFound, "protocol: peer closed"};
+    case 2: return corrupt("EOF inside frame length");
+    default:
+      return Status{StatusCode::kIoError, std::string("protocol: read: ") +
+                                              std::strerror(errno)};
+  }
+  if (body_bytes > kMaxFrameBytes) {
+    return corrupt("frame length " + std::to_string(body_bytes) +
+                   " exceeds cap");
+  }
+  std::string body(body_bytes, '\0');
+  switch (read_exact(fd, body.data(), body.size())) {
+    case 0: return body;
+    case -1:
+      return Status{StatusCode::kIoError,
+                    std::string("protocol: read: ") + std::strerror(errno)};
+    default: return corrupt("EOF inside frame body");
+  }
+}
+
+}  // namespace drcshap::serve

@@ -1,0 +1,365 @@
+#include "serve/server.hpp"
+
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+#include <chrono>
+#include <cmath>
+#include <cstring>
+#include <utility>
+
+#include "obs/json.hpp"
+#include "obs/registry.hpp"
+
+namespace drcshap::serve {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double ms_since(Clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(Clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+// ------------------------------------------------------- LatencyRecorder
+
+LatencyRecorder::LatencyRecorder(std::size_t capacity) {
+  window_.reserve(capacity == 0 ? 1 : capacity);
+}
+
+void LatencyRecorder::record(double latency_ms) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.size() < window_.capacity()) {
+    window_.push_back(latency_ms);
+  } else {
+    window_[next_] = latency_ms;
+    next_ = (next_ + 1) % window_.capacity();
+  }
+  ++total_;
+}
+
+double LatencyRecorder::percentile(double p) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (window_.empty()) return 0.0;
+  std::vector<double> sorted(window_);
+  std::sort(sorted.begin(), sorted.end());
+  // Nearest-rank percentile over the retained window.
+  const double rank = std::ceil(p / 100.0 * static_cast<double>(sorted.size()));
+  const std::size_t index = static_cast<std::size_t>(
+      std::clamp(rank - 1.0, 0.0, static_cast<double>(sorted.size() - 1)));
+  return sorted[index];
+}
+
+std::uint64_t LatencyRecorder::count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return total_;
+}
+
+// ----------------------------------------------------------------- Server
+
+Server::Server(ServerOptions options) : options_(std::move(options)) {}
+
+Server::~Server() {
+  // Idempotent: a normal run() already tore everything down.
+  teardown();
+}
+
+Status Server::start() {
+  const Status loaded = registry_.load(options_.model_path);
+  if (!loaded.ok()) return loaded;
+  batcher_ = std::make_unique<Batcher>(registry_, options_.batch);
+
+  if (options_.socket_path.empty()) return Status::ok_status();  // stdio mode
+
+  sockaddr_un addr{};
+  addr.sun_family = AF_UNIX;
+  if (options_.socket_path.size() >= sizeof(addr.sun_path)) {
+    return {StatusCode::kInvalid,
+            "server: socket path too long: " + options_.socket_path};
+  }
+  std::strncpy(addr.sun_path, options_.socket_path.c_str(),
+               sizeof(addr.sun_path) - 1);
+
+  listen_fd_ = ::socket(AF_UNIX, SOCK_STREAM | SOCK_CLOEXEC, 0);
+  if (listen_fd_ < 0) {
+    return {StatusCode::kIoError,
+            std::string("server: socket: ") + std::strerror(errno)};
+  }
+  ::unlink(options_.socket_path.c_str());  // stale socket from a dead run
+  if (::bind(listen_fd_, reinterpret_cast<const sockaddr*>(&addr),
+             sizeof(addr)) != 0 ||
+      ::listen(listen_fd_, 128) != 0) {
+    const Status status{StatusCode::kIoError,
+                        "server: bind/listen on " + options_.socket_path +
+                            ": " + std::strerror(errno)};
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    return status;
+  }
+  return Status::ok_status();
+}
+
+void Server::run() {
+  if (options_.socket_path.empty()) {
+    // stdio mode: one implicit connection on fds 0/1; connection_loop
+    // returns on EOF or a shutdown request.
+    connection_loop(-1);
+  } else {
+    accept_thread_ = std::thread([this] { accept_loop(); });
+    std::unique_lock<std::mutex> lock(shutdown_mu_);
+    shutdown_cv_.wait(lock, [this] { return stopping_.load(); });
+  }
+  teardown();
+}
+
+void Server::request_shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mu_);
+    stopping_.store(true);
+  }
+  shutdown_cv_.notify_all();
+}
+
+void Server::accept_loop() {
+  while (!stopping_.load()) {
+    // A signal-context shutdown (SIGINT/SIGTERM) is promoted to the real
+    // mutex+cv request here, off signal context.
+    if (shutdown_pending_.exchange(false)) {
+      request_shutdown();
+      break;
+    }
+    // A pending SIGHUP swap is applied here, off signal context; the old
+    // model drains behind the in-flight batches that still hold it.
+    if (reload_pending_.exchange(false)) {
+      const Status status = registry_.reload();
+      obs::counter_add("serve/sighup_reloads");
+      if (!status.ok()) {
+        obs::note_set("serve/reload_error", status.to_string());
+      }
+    }
+    pollfd pfd{listen_fd_, POLLIN, 0};
+    const int ready = ::poll(&pfd, 1, /*timeout_ms=*/200);
+    if (ready < 0 && errno != EINTR) break;
+    if (ready <= 0 || (pfd.revents & POLLIN) == 0) continue;
+    const int fd = ::accept4(listen_fd_, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd < 0) continue;
+
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    // Reap connections whose loops already finished (client hung up).
+    std::erase_if(connections_, [](const std::unique_ptr<Connection>& c) {
+      if (!c->done.load()) return false;
+      if (c->thread.joinable()) c->thread.join();
+      ::close(c->fd);
+      return true;
+    });
+    auto connection = std::make_unique<Connection>();
+    connection->fd = fd;
+    Connection* raw = connection.get();
+    connection->thread = std::thread([this, raw] {
+      connection_loop(raw->fd);
+      // Deliver EOF to the client now (a poisoned stream must not dangle
+      // until daemon exit); the fd itself is closed by the reaper/teardown
+      // after join, so there is no double-close window.
+      ::shutdown(raw->fd, SHUT_RDWR);
+      raw->done.store(true);
+    });
+    connections_.push_back(std::move(connection));
+  }
+}
+
+void Server::connection_loop(int fd) {
+  // fd < 0 selects stdio mode: read fd 0, write fd 1.
+  const int in_fd = fd < 0 ? 0 : fd;
+  const int out_fd = fd < 0 ? 1 : fd;
+  for (;;) {
+    if (fd < 0 && reload_pending_.exchange(false)) {
+      const Status status = registry_.reload();
+      obs::counter_add("serve/sighup_reloads");
+      if (!status.ok()) {
+        obs::note_set("serve/reload_error", status.to_string());
+      }
+    }
+    StatusOr<std::string> frame = read_frame(in_fd);
+    if (!frame.ok()) {
+      // kNotFound = clean EOF. Framing damage gets a best-effort typed
+      // reply; either way the stream can no longer be trusted, so close.
+      if (frame.status().code() == StatusCode::kCorrupt) {
+        write_frame(out_fd,
+                    encode_response(error_response(
+                        0, Verb::kScore, frame.status().code(),
+                        frame.status().message())));
+      }
+      break;
+    }
+    StatusOr<Request> decoded = decode_request(frame.value());
+    if (!decoded.ok()) {
+      write_frame(out_fd,
+                  encode_response(error_response(
+                      peek_request_id(frame.value()), Verb::kScore,
+                      decoded.status().code(), decoded.status().message())));
+      break;
+    }
+    Request request = std::move(decoded).value();
+    const bool is_shutdown = request.verb == Verb::kShutdown;
+    const Response response = dispatch(std::move(request));
+    const bool replied = write_frame(out_fd, encode_response(response)).ok();
+    if (is_shutdown || !replied) {
+      if (is_shutdown) request_shutdown();
+      break;
+    }
+  }
+}
+
+Response Server::dispatch(Request request) {
+  const std::uint64_t id = request.id;
+  const Verb verb = request.verb;
+  switch (verb) {
+    case Verb::kScore:
+    case Verb::kExplain: {
+      const Clock::time_point start = Clock::now();
+      Response response = batcher_->submit(std::move(request));
+      const double latency = ms_since(start);
+      (verb == Verb::kScore ? score_latency_ : explain_latency_)
+          .record(latency);
+      obs::timer_record(verb == Verb::kScore ? "serve/request_score"
+                                             : "serve/request_explain",
+                        static_cast<std::uint64_t>(latency * 1e6));
+      return response;
+    }
+    case Verb::kReload: {
+      const Status status = registry_.reload(request.text);
+      if (!status.ok()) {
+        return error_response(id, verb, status.code(), status.message());
+      }
+      Response response;
+      response.id = id;
+      response.verb = verb;
+      response.text = registry_.current()->version;
+      return response;
+    }
+    case Verb::kStats: {
+      Response response;
+      response.id = id;
+      response.verb = verb;
+      response.text = stats_json();
+      return response;
+    }
+    case Verb::kShutdown: {
+      Response response;
+      response.id = id;
+      response.verb = verb;
+      return response;
+    }
+  }
+  return error_response(id, verb, StatusCode::kInvalid, "unknown verb");
+}
+
+void Server::teardown() {
+  request_shutdown();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+    ::unlink(options_.socket_path.c_str());
+  }
+  // Drain: every request already enqueued is served before the runner
+  // stops; submits arriving after this point get a typed rejection.
+  if (batcher_ != nullptr) batcher_->shutdown();
+  {
+    std::lock_guard<std::mutex> lock(connections_mu_);
+    for (const auto& connection : connections_) {
+      // SHUT_RD unblocks the reader without cutting a reply mid-write.
+      ::shutdown(connection->fd, SHUT_RD);
+    }
+    for (const auto& connection : connections_) {
+      if (connection->thread.joinable()) connection->thread.join();
+      ::close(connection->fd);
+    }
+    connections_.clear();
+  }
+  publish_obs_gauges();
+}
+
+std::string Server::stats_json() const {
+  const std::shared_ptr<const ServedModel> model = registry_.current();
+  const Batcher::Stats stats =
+      batcher_ != nullptr ? batcher_->stats() : Batcher::Stats{};
+
+  obs::JsonValue doc = obs::JsonValue::make_object();
+  obs::JsonValue model_json = obs::JsonValue::make_object();
+  if (model != nullptr) {
+    model_json["version"] = model->version;
+    model_json["path"] = model->path;
+    model_json["n_features"] = static_cast<std::uint64_t>(model->n_features);
+    model_json["engine"] = std::string(
+        forest_engine_name(model->forest.resolve_engine(
+            options_.batch.engine)));
+  }
+  model_json["swaps"] = registry_.swap_count();
+  model_json["retired_alive"] =
+      static_cast<std::uint64_t>(registry_.retired_alive());
+  doc["model"] = std::move(model_json);
+
+  obs::JsonValue queue = obs::JsonValue::make_object();
+  queue["depth"] = static_cast<std::uint64_t>(stats.queue_depth);
+  queue["max_depth"] = static_cast<std::uint64_t>(stats.max_queue_depth);
+  doc["queue"] = std::move(queue);
+
+  obs::JsonValue requests = obs::JsonValue::make_object();
+  requests["received"] = stats.requests;
+  requests["replied"] = stats.replies;
+  requests["rejected"] = stats.rejected;
+  requests["score_rows"] = stats.score_rows;
+  requests["explain_rows"] = stats.explain_rows;
+  doc["requests"] = std::move(requests);
+
+  obs::JsonValue batch = obs::JsonValue::make_object();
+  batch["batches"] = stats.batches;
+  batch["max_batch_rows"] =
+      static_cast<std::uint64_t>(options_.batch.max_batch_rows);
+  batch["flush_us"] = static_cast<std::uint64_t>(options_.batch.flush_us);
+  obs::JsonValue histogram = obs::JsonValue::make_array();
+  for (const std::uint64_t count : stats.batch_rows_histogram) {
+    histogram.push_back(count);
+  }
+  batch["rows_histogram"] = std::move(histogram);
+  doc["batch"] = std::move(batch);
+
+  obs::JsonValue latency = obs::JsonValue::make_object();
+  const auto verb_latency = [](const LatencyRecorder& recorder) {
+    obs::JsonValue entry = obs::JsonValue::make_object();
+    entry["count"] = recorder.count();
+    entry["p50_ms"] = recorder.percentile(50.0);
+    entry["p99_ms"] = recorder.percentile(99.0);
+    return entry;
+  };
+  latency["score"] = verb_latency(score_latency_);
+  latency["explain"] = verb_latency(explain_latency_);
+  doc["latency_ms"] = std::move(latency);
+  return doc.dump(2);
+}
+
+void Server::publish_obs_gauges() const {
+  obs::gauge_set("serve/score_p50_ms", score_latency_.percentile(50.0));
+  obs::gauge_set("serve/score_p99_ms", score_latency_.percentile(99.0));
+  obs::gauge_set("serve/explain_p50_ms", explain_latency_.percentile(50.0));
+  obs::gauge_set("serve/explain_p99_ms", explain_latency_.percentile(99.0));
+  obs::gauge_set("serve/models_retired_alive",
+                 static_cast<double>(registry_.retired_alive()));
+  if (batcher_ != nullptr) {
+    const Batcher::Stats stats = batcher_->stats();
+    obs::gauge_set("serve/queue_depth",
+                   static_cast<double>(stats.queue_depth));
+    obs::gauge_set("serve/max_queue_depth",
+                   static_cast<double>(stats.max_queue_depth));
+  }
+}
+
+}  // namespace drcshap::serve

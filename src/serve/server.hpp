@@ -1,0 +1,124 @@
+#pragma once
+// The drcshap_serve daemon core: a Unix-socket (or stdin/stdout) frame
+// server that dispatches score/explain requests into the Batcher, serves
+// reload/stats/shutdown inline, and owns the shutdown choreography — stop
+// accepting, drain the batch queue, unblock every connection, join, and
+// only then return from run(). Hot swaps arrive as SIGHUP (the daemon main
+// forwards it via notify_sighup) or as a reload request on any connection.
+//
+// Concurrency model: one accept thread, one thread per live connection
+// (requests on a single connection are served in order; concurrency — and
+// therefore batching — comes from concurrent connections), plus the
+// Batcher's runner thread, which fans each batch out on the shared pool.
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "serve/batcher.hpp"
+#include "serve/model_registry.hpp"
+#include "serve/protocol.hpp"
+
+namespace drcshap::serve {
+
+struct ServerOptions {
+  std::string model_path;   ///< forest artifact loaded at start()
+  std::string socket_path;  ///< Unix socket; empty = stdin/stdout mode
+  BatchOptions batch;
+};
+
+/// Sliding window of per-request latencies for the stats percentiles; the
+/// run report gets p50/p99 gauges from here at shutdown.
+class LatencyRecorder {
+ public:
+  explicit LatencyRecorder(std::size_t capacity = 8192);
+
+  void record(double latency_ms);
+  /// Percentile over the retained window (nearest-rank); 0 when empty.
+  double percentile(double p) const;
+  std::uint64_t count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<double> window_;
+  std::size_t next_ = 0;
+  std::uint64_t total_ = 0;
+};
+
+class Server {
+ public:
+  explicit Server(ServerOptions options);
+  ~Server();
+
+  Server(const Server&) = delete;
+  Server& operator=(const Server&) = delete;
+
+  /// Loads the model and binds/listens on the socket (no-op bind in stdio
+  /// mode). On error nothing is left running.
+  Status start();
+
+  /// Serves until a shutdown request (or request_shutdown()) arrives, then
+  /// drains and tears down. Call after start(). In stdio mode this serves
+  /// one implicit connection on fds 0/1.
+  void run();
+
+  /// Asks run() to begin the drain+teardown sequence (thread-safe).
+  void request_shutdown();
+
+  /// SIGHUP entry point: schedules a reload of the current model path. The
+  /// swap happens on the accept loop, not in signal context.
+  void notify_sighup() { reload_pending_.store(true); }
+
+  /// SIGINT/SIGTERM entry point: async-signal-safe (a plain atomic store,
+  /// unlike request_shutdown's mutex+cv). The accept loop's poll tick
+  /// promotes it to a real request_shutdown within ~200 ms.
+  void notify_shutdown_signal() { shutdown_pending_.store(true); }
+
+  const ModelRegistry& registry() const { return registry_; }
+  ModelRegistry& registry() { return registry_; }
+
+  /// JSON document served by the stats verb: model identity/engine, queue
+  /// and batch stats, request counts, p50/p99 latency per verb.
+  std::string stats_json() const;
+
+  /// Publishes the serving gauges (p50/p99 per verb, drain counters) into
+  /// the obs registry so they land in the run report. run() does this at
+  /// teardown; tests call it directly.
+  void publish_obs_gauges() const;
+
+ private:
+  void accept_loop();
+  void connection_loop(int fd);
+  Response dispatch(Request request);
+  void teardown();
+
+  ServerOptions options_;
+  ModelRegistry registry_;
+  std::unique_ptr<Batcher> batcher_;
+
+  int listen_fd_ = -1;
+  std::thread accept_thread_;
+  std::atomic<bool> stopping_{false};
+  std::atomic<bool> reload_pending_{false};
+  std::atomic<bool> shutdown_pending_{false};
+  std::mutex shutdown_mu_;
+  std::condition_variable shutdown_cv_;
+
+  struct Connection {
+    std::thread thread;
+    int fd = -1;
+    std::atomic<bool> done{false};
+  };
+  std::mutex connections_mu_;
+  std::vector<std::unique_ptr<Connection>> connections_;
+
+  LatencyRecorder score_latency_;
+  LatencyRecorder explain_latency_;
+};
+
+}  // namespace drcshap::serve

@@ -1,0 +1,195 @@
+// drcshap_serve: long-lived DRC-hotspot inference daemon.
+//
+//   drcshap_serve --model MODEL.forest --socket /run/drcshap.sock
+//   drcshap_serve --model MODEL.forest --stdio
+//   drcshap_serve --make-fixture MODEL.forest [--features N --rows N
+//                 --trees N --seed S]
+//
+// Serves score/explain/reload/stats/shutdown over the length-prefixed
+// binary protocol of src/serve/protocol.hpp. SIGHUP hot-swaps the model
+// (re-reads the artifact in place); SIGINT/SIGTERM drain and exit. A run
+// report is written at exit ($DRCSHAP_RUNREPORT, with
+// $DRCSHAP_RUNREPORT_PER_PROCESS=1 adding a .pid suffix so a co-located
+// load generator can merge instead of clobber).
+//
+// --make-fixture trains a small synthetic forest and saves it through the
+// artifact envelope — the fixture model the CI serve-smoke job (and local
+// experiments) run the daemon against.
+
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/model_io.hpp"
+#include "core/random_forest.hpp"
+#include "obs/run_report.hpp"
+#include "serve/server.hpp"
+#include "util/rng.hpp"
+
+namespace {
+
+drcshap::serve::Server* g_server = nullptr;
+
+extern "C" void handle_sighup(int) {
+  if (g_server != nullptr) g_server->notify_sighup();
+}
+
+extern "C" void handle_shutdown_signal(int) {
+  if (g_server != nullptr) g_server->notify_shutdown_signal();
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --model PATH (--socket PATH | --stdio)\n"
+      "          [--max-batch ROWS] [--flush-us US] [--threads N]\n"
+      "          [--engine auto|exact|compiled]\n"
+      "       %s --make-fixture PATH [--features N] [--rows N] [--trees N]\n"
+      "          [--seed S]\n",
+      argv0, argv0);
+  return 2;
+}
+
+struct FixtureOptions {
+  std::string path;
+  std::size_t n_features = 32;
+  std::size_t n_rows = 2000;
+  int n_trees = 50;
+  std::uint64_t seed = 7;
+};
+
+/// Trains a small forest on a synthetic hotspot-like rule and commits it
+/// through the artifact envelope, printing the path for scripts.
+int make_fixture(const FixtureOptions& options) {
+  drcshap::Dataset data(options.n_features);
+  drcshap::Rng rng(options.seed);
+  std::vector<float> row(options.n_features);
+  for (std::size_t i = 0; i < options.n_rows; ++i) {
+    for (float& value : row) value = static_cast<float>(rng.uniform());
+    // Hotspot when local congestion is high and pin slack is low, with a
+    // sprinkle of noise — separable enough that the fixture predicts
+    // non-trivial probabilities.
+    const bool hot =
+        row[0] > 0.6f && row[1] < 0.5f && (row[2] + row[3]) > 0.7f;
+    const bool flip = rng.uniform() < 0.05;
+    data.append_row(row, (hot != flip) ? 1 : 0, 0);
+  }
+  drcshap::RandomForestOptions forest_options;
+  forest_options.n_trees = options.n_trees;
+  forest_options.seed = options.seed;
+  drcshap::RandomForestClassifier forest(forest_options);
+  forest.fit(data);
+  drcshap::save_forest_file(forest, options.path);
+  std::printf("%s\n", options.path.c_str());
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  drcshap::serve::ServerOptions options;
+  FixtureOptions fixture;
+  bool stdio = false;
+  bool fixture_mode = false;
+
+  const auto next_arg = [&](int& i) -> const char* {
+    if (i + 1 >= argc) {
+      std::fprintf(stderr, "%s: %s needs a value\n", argv[0], argv[i]);
+      std::exit(2);
+    }
+    return argv[++i];
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--model") {
+      options.model_path = next_arg(i);
+    } else if (arg == "--socket") {
+      options.socket_path = next_arg(i);
+    } else if (arg == "--stdio") {
+      stdio = true;
+    } else if (arg == "--max-batch") {
+      options.batch.max_batch_rows =
+          static_cast<std::size_t>(std::strtoull(next_arg(i), nullptr, 10));
+    } else if (arg == "--flush-us") {
+      options.batch.flush_us =
+          static_cast<std::uint32_t>(std::strtoul(next_arg(i), nullptr, 10));
+    } else if (arg == "--threads") {
+      options.batch.n_threads =
+          static_cast<std::size_t>(std::strtoull(next_arg(i), nullptr, 10));
+    } else if (arg == "--engine") {
+      const std::string name = next_arg(i);
+      if (name == "auto") {
+        options.batch.engine = drcshap::ForestEngine::kAuto;
+      } else if (name == "exact") {
+        options.batch.engine = drcshap::ForestEngine::kExact;
+      } else if (name == "compiled") {
+        options.batch.engine = drcshap::ForestEngine::kCompiled;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--make-fixture") {
+      fixture_mode = true;
+      fixture.path = next_arg(i);
+    } else if (arg == "--features") {
+      fixture.n_features =
+          static_cast<std::size_t>(std::strtoull(next_arg(i), nullptr, 10));
+    } else if (arg == "--rows") {
+      fixture.n_rows =
+          static_cast<std::size_t>(std::strtoull(next_arg(i), nullptr, 10));
+    } else if (arg == "--trees") {
+      fixture.n_trees = std::atoi(next_arg(i));
+    } else if (arg == "--seed") {
+      fixture.seed = std::strtoull(next_arg(i), nullptr, 10);
+    } else {
+      return usage(argv[0]);
+    }
+  }
+
+  if (fixture_mode) {
+    try {
+      return make_fixture(fixture);
+    } catch (const std::exception& e) {
+      std::fprintf(stderr, "%s: make-fixture failed: %s\n", argv[0], e.what());
+      return 1;
+    }
+  }
+
+  if (options.model_path.empty() || (options.socket_path.empty() && !stdio)) {
+    return usage(argv[0]);
+  }
+
+  drcshap::serve::Server server(options);
+  const drcshap::Status started = server.start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "%s: start failed: %s\n", argv[0],
+                 started.to_string().c_str());
+    return 1;
+  }
+  g_server = &server;
+  if (!options.socket_path.empty()) {
+    // Socket mode runs unattended: wire up hot swap and graceful drain.
+    // (stdio mode keeps default signal dispositions so a terminal ^C
+    // behaves normally.)
+    std::signal(SIGHUP, handle_sighup);
+    std::signal(SIGINT, handle_shutdown_signal);
+    std::signal(SIGTERM, handle_shutdown_signal);
+    std::signal(SIGPIPE, SIG_IGN);  // a vanished client must not kill us
+    std::fprintf(stderr, "drcshap_serve: listening on %s (model %s)\n",
+                 options.socket_path.c_str(), options.model_path.c_str());
+  }
+  server.run();
+  g_server = nullptr;
+
+  drcshap::obs::RunReportOptions report;
+  report.tool = "drcshap_serve";
+  report.extra["model"] = options.model_path;
+  const std::string written = drcshap::obs::write_default_run_report(report);
+  if (!written.empty()) {
+    std::fprintf(stderr, "drcshap_serve: run report written to %s\n",
+                 written.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,173 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/check_bench.py — the CI perf gate.
+
+Every perf and serving job trusts check_bench.py's exit-code contract:
+0 = pass, 1 = regression or zero overlap, 2 = malformed report or a
+--require'd benchmark missing. These tests pin that contract (and the
+diagnosis text for the exit-2 paths) by invoking the script the way CI
+does: as a subprocess on real files. Stdlib unittest only, so the suite
+runs anywhere python3 exists:
+
+    python3 tools/test_check_bench.py
+"""
+
+import json
+import os
+import subprocess
+import sys
+import tempfile
+import unittest
+
+CHECK_BENCH = os.path.join(os.path.dirname(os.path.abspath(__file__)),
+                           "check_bench.py")
+
+
+def benchmark_json(times_ms, aggregates=()):
+    """Google-benchmark JSON with per-iteration rows (times in ms)."""
+    rows = [{"name": name, "run_type": "iteration", "real_time": ms,
+             "cpu_time": ms, "time_unit": "ms"}
+            for name, ms in times_ms.items()]
+    rows += [{"name": name, "run_type": "aggregate", "real_time": 1e9,
+              "cpu_time": 1e9, "time_unit": "ms"} for name in aggregates]
+    return {"benchmarks": rows}
+
+
+def runreport_json(times_ms, metric="real"):
+    """drcshap runreport.json carrying bench gauges (times in ms)."""
+    gauges = {f"bench/{name}/{metric}_time_ms": ms
+              for name, ms in times_ms.items()}
+    return {"schema_version": 1, "tool": "test", "gauges": gauges}
+
+
+class CheckBenchTest(unittest.TestCase):
+    def setUp(self):
+        self.dir = tempfile.TemporaryDirectory(prefix="check_bench_test_")
+        self.addCleanup(self.dir.cleanup)
+
+    def write(self, name, content):
+        path = os.path.join(self.dir.name, name)
+        with open(path, "w", encoding="utf-8") as f:
+            f.write(content if isinstance(content, str)
+                    else json.dumps(content))
+        return path
+
+    def run_gate(self, baseline, report, *extra):
+        return subprocess.run(
+            [sys.executable, CHECK_BENCH, baseline, report, *extra],
+            capture_output=True, text=True)
+
+    # ------------------------------------------------------- exit 0 paths
+
+    def test_within_tolerance_passes(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", runreport_json({"bm_a": 11.0}))
+        result = self.run_gate(baseline, report, "--tolerance", "0.25")
+        self.assertEqual(result.returncode, 0, result.stderr)
+        self.assertIn("OK", result.stdout)
+
+    def test_benchmark_json_candidate_accepted(self):
+        # The candidate may be a raw --benchmark_out dump, not a runreport.
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", benchmark_json({"bm_a": 10.0}))
+        self.assertEqual(self.run_gate(baseline, report).returncode, 0)
+
+    def test_aggregate_rows_ignored(self):
+        # mean/median/stddev rows must not be gated (their huge times here
+        # would otherwise read as regressions).
+        baseline = self.write("base.json", benchmark_json(
+            {"bm_a": 10.0}, aggregates=["bm_a_mean"]))
+        report = self.write("report.json", runreport_json({"bm_a": 10.0}))
+        result = self.run_gate(baseline, report,
+                               "--require", "bm_a")
+        self.assertEqual(result.returncode, 0, result.stderr)
+
+    def test_gates_on_selected_metric(self):
+        # cpu gauges only; --metric cpu finds them, --metric real has no
+        # overlap and must fail rather than silently pass.
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json",
+                            runreport_json({"bm_a": 10.0}, metric="cpu"))
+        self.assertEqual(
+            self.run_gate(baseline, report, "--metric", "cpu").returncode, 0)
+        self.assertEqual(
+            self.run_gate(baseline, report, "--metric", "real").returncode, 1)
+
+    # ------------------------------------------------------- exit 1 paths
+
+    def test_regression_fails(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", runreport_json({"bm_a": 13.0}))
+        result = self.run_gate(baseline, report, "--tolerance", "0.25")
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("REGRESSION", result.stdout)
+
+    def test_zero_overlap_fails(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", runreport_json({"bm_b": 10.0}))
+        result = self.run_gate(baseline, report)
+        self.assertEqual(result.returncode, 1)
+        self.assertIn("no benchmarks in common", result.stderr)
+
+    # ------------------------------------------------------- exit 2 paths
+
+    def test_empty_report_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", "")
+        result = self.run_gate(baseline, report)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("empty", result.stderr)
+
+    def test_truncated_json_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", '{"gauges": {"bench/bm_a')
+        result = self.run_gate(baseline, report)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("not valid JSON", result.stderr)
+
+    def test_non_object_json_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", "[1, 2, 3]")
+        result = self.run_gate(baseline, report)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("expected an object", result.stderr)
+
+    def test_non_numeric_gauge_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", {
+            "gauges": {"bench/bm_a/real_time_ms": "fast"}})
+        result = self.run_gate(baseline, report)
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("not a number", result.stderr)
+
+    def test_missing_file_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        result = self.run_gate(baseline,
+                               os.path.join(self.dir.name, "absent.json"))
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("cannot read", result.stderr)
+
+    def test_required_benchmark_missing_fails(self):
+        # The anti-shrinkage contract: a gated benchmark disappearing from
+        # the candidate (deleted, renamed, filtered out) is exit 2, even
+        # though the remaining overlap would pass.
+        baseline = self.write("base.json",
+                              benchmark_json({"bm_a": 10.0, "bm_b": 5.0}))
+        report = self.write("report.json", runreport_json({"bm_a": 10.0}))
+        result = self.run_gate(baseline, report, "--require", "bm_")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("bm_b", result.stderr)
+        # The same files pass when --require only names what is present.
+        self.assertEqual(
+            self.run_gate(baseline, report, "--require", "bm_a").returncode,
+            0)
+
+    def test_bad_require_regex_diagnosed(self):
+        baseline = self.write("base.json", benchmark_json({"bm_a": 10.0}))
+        report = self.write("report.json", runreport_json({"bm_a": 10.0}))
+        result = self.run_gate(baseline, report, "--require", "bm_(")
+        self.assertEqual(result.returncode, 2)
+        self.assertIn("bad --require regex", result.stderr)
+
+
+if __name__ == "__main__":
+    unittest.main(verbosity=2)
