@@ -388,6 +388,25 @@ int main(int argc, char** argv) {
                                 result.p99_ms);
         drcshap::obs::gauge_set("bench/" + name + "/rows_per_second",
                                 result.rows_per_s);
+        if (verb == Verb::kExplain) {
+          // Daemon-side cache traffic so a sweep's speedup is attributable:
+          // cumulative across sweeps, like the daemon's own counters.
+          Client stats_client(options.socket_path);
+          Request stats_request;
+          stats_request.id = 4;
+          stats_request.verb = Verb::kStats;
+          const Response stats = stats_client.call(stats_request);
+          if (stats.status == drcshap::StatusCode::kOk) {
+            const auto doc = drcshap::obs::JsonValue::parse(stats.text);
+            const auto& cache = doc.at("explain_cache");
+            std::printf("%-22s cache: enabled=%d hits=%.0f misses=%.0f "
+                        "hit_rate=%.3f\n",
+                        name.c_str(), cache.at("enabled").as_bool() ? 1 : 0,
+                        cache.at("hits").as_number(),
+                        cache.at("misses").as_number(),
+                        cache.at("hit_rate").as_number());
+          }
+        }
       }
     }
 

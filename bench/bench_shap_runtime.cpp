@@ -7,10 +7,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <cstdlib>
+#include <memory>
 #include <numeric>
 #include <optional>
 
 #include "core/brute_force_shap.hpp"
+#include "core/explanation_cache.hpp"
 #include "core/tree_shap.hpp"
 #include "obs_report.hpp"
 #include "util/rng.hpp"
@@ -131,6 +134,78 @@ void BM_TreeShapBatch_Threads(benchmark::State& state) {
 }
 BENCHMARK(BM_TreeShapBatch_Threads)->Arg(1)->Arg(2)->Arg(4)->Arg(8)
     ->Unit(benchmark::kMillisecond)->UseRealTime();
+
+// ---- fast path vs reference recursion, and the explanation cache ---------
+// Three serial per-row legs (1 thread, CPU-time comparable across runs):
+//   SerialReference — the Algorithm-2 recursion (DRCSHAP_SHAP_FAST=0),
+//                     no cache: the pre-fast-path cold baseline.
+//   SerialFastCold  — the batch-amortized fast walk, no cache: the pure
+//                     engine speedup on never-seen rows.
+//   RepeatSweep     — the fast walk plus the explanation cache on a
+//                     50%-duplicate batch whose unique rows have been
+//                     served before (steady-state repeat traffic): dedupe
+//                     scatters the in-batch duplicates and the cache
+//                     scatters the rest, so this leg measures the full
+//                     dedupe-before-compute path, not the tree walk.
+// CI computes the in-run ratios between these legs (see ci.yml): the legs
+// run in the same process on the same host, so the ratio is immune to
+// runner-fleet drift in a way absolute gates are not.
+
+void BM_ShapExplainSerialReference(benchmark::State& state) {
+  ::setenv("DRCSHAP_SHAP_FAST", "0", 1);
+  const Dataset& data = paper_scale_data();
+  const TreeShapExplainer explainer(paper_scale_forest());
+  const auto n_rows = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> rows(n_rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  const Dataset batch = data.subset(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values_batch(batch, 1));
+  }
+  ::unsetenv("DRCSHAP_SHAP_FAST");
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n_rows));
+}
+BENCHMARK(BM_ShapExplainSerialReference)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShapExplainSerialFastCold(benchmark::State& state) {
+  const Dataset& data = paper_scale_data();
+  const TreeShapExplainer explainer(paper_scale_forest());
+  const auto n_rows = static_cast<std::size_t>(state.range(0));
+  std::vector<std::size_t> rows(n_rows);
+  std::iota(rows.begin(), rows.end(), 0);
+  const Dataset batch = data.subset(rows);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values_batch(batch, 1));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * n_rows));
+}
+BENCHMARK(BM_ShapExplainSerialFastCold)->Arg(16)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ShapExplainRepeatSweep(benchmark::State& state) {
+  const Dataset& data = paper_scale_data();
+  TreeShapExplainer explainer(paper_scale_forest());
+  const auto cache = std::make_shared<ExplanationCache>();
+  explainer.set_cache(cache);
+  // 50% in-batch duplicates over a previously-served unique set.
+  const auto n_unique = static_cast<std::size_t>(state.range(0)) / 2;
+  std::vector<std::size_t> rows(2 * n_unique);
+  for (std::size_t i = 0; i < rows.size(); ++i) rows[i] = i % n_unique;
+  const Dataset batch = data.subset(rows);
+  (void)explainer.shap_values_batch(batch, 1);  // warm: serve the sweep once
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(explainer.shap_values_batch(batch, 1));
+  }
+  state.SetItemsProcessed(
+      static_cast<std::int64_t>(state.iterations() * rows.size()));
+  const ExplanationCacheStats stats = cache->stats();
+  state.counters["cache_hit_rate"] = stats.hit_rate();
+}
+BENCHMARK(BM_ShapExplainRepeatSweep)->Arg(32)
+    ->Unit(benchmark::kMillisecond);
 
 void BM_ForestPredictBatch_Threads(benchmark::State& state) {
   const Dataset& data = paper_scale_data();

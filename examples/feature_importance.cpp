@@ -5,9 +5,11 @@
 // feature block (placement / edge congestion / via congestion) and by
 // window position (central cell vs neighbors).
 //
-// Usage: feature_importance [scale]
+// Usage: feature_importance [scale] [--engine auto|exact|compiled]
+//                            [--explain-cache on|off]
 
 #include <cstdlib>
+#include <cstring>
 #include <iostream>
 
 #include "benchsuite/pipeline.hpp"
@@ -17,8 +19,44 @@
 
 using namespace drcshap;
 
+namespace {
+
+int usage() {
+  std::cerr << "usage: feature_importance [scale]\n"
+               "         [--engine auto|exact|compiled]  SHAP traversal "
+               "engine\n"
+               "         [--explain-cache on|off]        explanation cache "
+               "(default: $DRCSHAP_EXPLAIN_CACHE)\n";
+  return 2;
+}
+
+}  // namespace
+
 int main(int argc, char** argv) {
-  const double scale = argc > 1 ? std::atof(argv[1]) : 8.0;
+  double scale = 8.0;
+  ForestEngine engine = ForestEngine::kAuto;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "auto") engine = ForestEngine::kAuto;
+      else if (name == "exact") engine = ForestEngine::kExact;
+      else if (name == "compiled") engine = ForestEngine::kCompiled;
+      else return usage();
+    } else if (arg == "--explain-cache" && i + 1 < argc) {
+      // Flag form of $DRCSHAP_EXPLAIN_CACHE (re-read per explain call).
+      const std::string name = argv[++i];
+      if (name == "on") ::setenv("DRCSHAP_EXPLAIN_CACHE", "1", 1);
+      else if (name == "off") ::setenv("DRCSHAP_EXPLAIN_CACHE", "0", 1);
+      else return usage();
+    } else if (arg == "--help" || arg == "-h") {
+      return usage();
+    } else if (!arg.empty() && arg[0] != '-') {
+      scale = std::atof(arg.c_str());
+    } else {
+      return usage();
+    }
+  }
   PipelineOptions pipeline;
   pipeline.generator.scale = scale;
 
@@ -35,24 +73,42 @@ int main(int argc, char** argv) {
   options.n_trees = 120;
   RandomForestClassifier forest(options);
   forest.fit(train);
-  const TreeShapExplainer explainer(forest);
+  TreeShapExplainer explainer(forest);
+  explainer.set_engine(engine);
 
-  const std::vector<double> importance =
-      mean_abs_shap(explainer, test, /*max_rows=*/200);
+  // Streaming global summary over a sample of held-out rows: mean |SHAP|
+  // plus sign statistics, accumulated in O(n_features) memory.
+  std::vector<std::size_t> probe_rows(std::min<std::size_t>(test.n_rows(), 200));
+  for (std::size_t i = 0; i < probe_rows.size(); ++i) probe_rows[i] = i;
+  const Dataset probe = test.subset(probe_rows);
+  const GlobalShapSummary summary = global_shap_summary(explainer, probe);
+  const std::vector<double> importance = summary.mean_abs_all();
 
-  // Top 15 features.
-  std::vector<std::size_t> order(importance.size());
-  for (std::size_t i = 0; i < order.size(); ++i) order[i] = i;
-  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
-    return importance[a] > importance[b];
-  });
-  Table top({"rank", "feature", "mean |SHAP|"});
-  for (std::size_t r = 0; r < 15; ++r) {
+  Table top({"rank", "feature", "mean |SHAP|", "mean SHAP", "pos %"});
+  const std::vector<std::size_t> order = summary.top_features(15);
+  for (std::size_t r = 0; r < order.size(); ++r) {
     top.add_row({std::to_string(r + 1), FeatureSchema::names()[order[r]],
-                 fmt_fixed(importance[order[r]], 5)});
+                 fmt_fixed(summary.mean_abs(order[r]), 5),
+                 fmt_fixed(summary.mean_signed(order[r]), 5),
+                 fmt_fixed(summary.positive_fraction(order[r]) * 100.0, 1)});
   }
   std::cout << "=== global feature importance on held-out des_perf_1 ===\n"
             << top.to_string();
+
+  // Cross-check the SHAP ranking against split-improvement importance:
+  // the classic (biased) training-data MDI and the Loecher-style debiased
+  // variant evaluated on the held-out probe rows.
+  const std::vector<double> mdi = split_improvement_importance(forest.flat());
+  const std::vector<double> mdi_debiased =
+      debiased_split_importance(forest.flat(), probe);
+  Table agreement({"importance pair", "Spearman rank corr"});
+  agreement.add_row({"mean |SHAP| vs split improvement (train MDI)",
+                     fmt_fixed(rank_correlation(importance, mdi), 3)});
+  agreement.add_row({"mean |SHAP| vs debiased split improvement",
+                     fmt_fixed(rank_correlation(importance, mdi_debiased), 3)});
+  agreement.add_row({"train MDI vs debiased split improvement",
+                     fmt_fixed(rank_correlation(mdi, mdi_debiased), 3)});
+  std::cout << "\n" << agreement.to_string();
 
   // By block.
   double placement = 0.0, edges = 0.0, vias = 0.0;

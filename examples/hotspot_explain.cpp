@@ -6,6 +6,8 @@
 // in the paper, not available at prediction/explanation time.
 //
 // Usage: hotspot_explain [test_design] [scale]
+//                        [--engine auto|exact|compiled]
+//                        [--explain-cache on|off]
 
 #include <algorithm>
 #include <cstdlib>
@@ -35,8 +37,38 @@ void describe_actual_errors(const DesignRun& run, std::size_t cell) {
 }  // namespace
 
 int main(int argc, char** argv) {
-  const std::string test_name = argc > 1 ? argv[1] : "des_perf_1";
-  const double scale = argc > 2 ? std::atof(argv[2]) : 8.0;
+  std::string test_name = "des_perf_1";
+  double scale = 8.0;
+  ForestEngine engine = ForestEngine::kAuto;
+  int positional = 0;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--engine" && i + 1 < argc) {
+      const std::string name = argv[++i];
+      if (name == "auto") engine = ForestEngine::kAuto;
+      else if (name == "exact") engine = ForestEngine::kExact;
+      else if (name == "compiled") engine = ForestEngine::kCompiled;
+      else { std::cerr << "unknown engine " << name << "\n"; return 2; }
+    } else if (arg == "--explain-cache" && i + 1 < argc) {
+      // Flag form of $DRCSHAP_EXPLAIN_CACHE (re-read per explain call).
+      const std::string name = argv[++i];
+      if (name == "on") ::setenv("DRCSHAP_EXPLAIN_CACHE", "1", 1);
+      else if (name == "off") ::setenv("DRCSHAP_EXPLAIN_CACHE", "0", 1);
+      else { std::cerr << "--explain-cache wants on|off\n"; return 2; }
+    } else if (arg == "--help" || arg == "-h" ||
+               (!arg.empty() && arg[0] == '-')) {
+      std::cerr << "usage: hotspot_explain [test_design] [scale]\n"
+                   "         [--engine auto|exact|compiled]\n"
+                   "         [--explain-cache on|off]\n";
+      return arg == "--help" || arg == "-h" ? 0 : 2;
+    } else if (positional == 0) {
+      test_name = arg;
+      ++positional;
+    } else {
+      scale = std::atof(arg.c_str());
+      ++positional;
+    }
+  }
 
   PipelineOptions pipeline;
   pipeline.generator.scale = scale;
@@ -53,7 +85,8 @@ int main(int argc, char** argv) {
   rf_options.n_trees = 150;
   RandomForestClassifier forest(rf_options);
   forest.fit(train);
-  const TreeShapExplainer explainer(forest);
+  TreeShapExplainer explainer(forest);
+  explainer.set_engine(engine);
 
   const std::vector<double> scores =
       forest.predict_proba_all(test_run.samples);

@@ -2,8 +2,15 @@
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <mutex>
 #include <stdexcept>
+#include <string_view>
+#include <unordered_map>
 
+#include "core/explanation_cache.hpp"
+#include "core/tree_shap_simd.hpp"
 #include "obs/registry.hpp"
 #include "util/thread_pool.hpp"
 
@@ -11,16 +18,13 @@ namespace drcshap {
 
 namespace {
 
-// One element of the "unique path" of Algorithm 2: a feature encountered on
-// the way down, the fraction of paths that flow through when the feature is
-// unknown (zero_fraction = cover ratio) or known (one_fraction = 0/1), and
-// the permutation weight accumulator pweight.
-struct PathElement {
-  int feature_index = -1;
-  double zero_fraction = 0.0;
-  double one_fraction = 0.0;
-  double pweight = 0.0;
-};
+using shap_detail::PathElement;
+using shap_detail::ExactTraversal;
+using shap_detail::CompiledTraversal;
+using shap_detail::ShapMeta;
+using shap_detail::FastFrame;
+using shap_detail::extend_path_01;
+using shap_detail::unwind_path;
 
 /// Grow the path by one split (EXTEND).
 void extend_path(PathElement* path, int unique_depth, double zero_fraction,
@@ -32,31 +36,6 @@ void extend_path(PathElement* path, int unique_depth, double zero_fraction,
                            static_cast<double>(unique_depth + 1);
     path[i].pweight = zero_fraction * path[i].pweight * (unique_depth - i) /
                       static_cast<double>(unique_depth + 1);
-  }
-}
-
-/// Undo an extension for a repeated feature (UNWIND).
-void unwind_path(PathElement* path, int unique_depth, int path_index) {
-  const double one_fraction = path[path_index].one_fraction;
-  const double zero_fraction = path[path_index].zero_fraction;
-  double next_one_portion = path[unique_depth].pweight;
-  for (int i = unique_depth - 1; i >= 0; --i) {
-    if (one_fraction != 0.0) {
-      const double tmp = path[i].pweight;
-      path[i].pweight = next_one_portion * (unique_depth + 1) /
-                        static_cast<double>((i + 1) * one_fraction);
-      next_one_portion =
-          tmp - path[i].pweight * zero_fraction * (unique_depth - i) /
-                    static_cast<double>(unique_depth + 1);
-    } else {
-      path[i].pweight = path[i].pweight * (unique_depth + 1) /
-                        static_cast<double>(zero_fraction * (unique_depth - i));
-    }
-  }
-  for (int i = path_index; i < unique_depth; ++i) {
-    path[i].feature_index = path[i + 1].feature_index;
-    path[i].zero_fraction = path[i + 1].zero_fraction;
-    path[i].one_fraction = path[i + 1].one_fraction;
   }
 }
 
@@ -82,56 +61,6 @@ double unwound_path_sum(const PathElement* path, int unique_depth,
   }
   return total;
 }
-
-// The recursion below is generic over how the ensemble is laid out. Both
-// traversals expose the same split decisions — the compiled one compares
-// the sample's u16 codes against quantized thresholds, which the monotone
-// bucketization makes exactly equivalent to the float compare — and both
-// read the same value/cover doubles, so the SHAP arithmetic (and therefore
-// every output bit) is independent of which layout ran.
-
-/// FlatForest arrays + the raw sample: the exact reference traversal.
-struct ExactTraversal {
-  const std::int32_t* feature;
-  const float* threshold;
-  const std::int32_t* left;
-  const std::int32_t* right;
-  const double* value;
-  const double* cover;
-  const float* x;
-
-  bool is_leaf(std::size_t node) const { return feature[node] < 0; }
-  std::int32_t split_feature(std::size_t node) const { return feature[node]; }
-  bool goes_left(std::size_t node) const {
-    return x[static_cast<std::size_t>(feature[node])] <= threshold[node];
-  }
-  std::int32_t left_child(std::size_t node) const { return left[node]; }
-  std::int32_t right_child(std::size_t node) const { return right[node]; }
-};
-
-/// CompiledForest breadth-first child/feature arrays + the sample's
-/// quantized codes. Children are adjacent (one array instead of two) and a
-/// leaf self-loops, so the hot path touches fewer, denser cache lines.
-struct CompiledTraversal {
-  const std::int32_t* feature;
-  const std::int32_t* qthreshold;
-  const std::int32_t* child;
-  const double* value;
-  const double* cover;
-  const std::uint16_t* qx;
-
-  bool is_leaf(std::size_t node) const {
-    return child[node] == static_cast<std::int32_t>(node);
-  }
-  std::int32_t split_feature(std::size_t node) const { return feature[node]; }
-  bool goes_left(std::size_t node) const {
-    return static_cast<std::int32_t>(
-               qx[static_cast<std::size_t>(feature[node])]) <=
-           qthreshold[node];
-  }
-  std::int32_t left_child(std::size_t node) const { return child[node]; }
-  std::int32_t right_child(std::size_t node) const { return child[node] + 1; }
-};
 
 // Per-traversal state: the phi accumulator and the path scratch. Recursion
 // level L uses the scratch slot starting at L * stride; a repeated feature
@@ -232,10 +161,220 @@ void compiled_tree_shap(const CompiledForest& forest, std::size_t tree,
                /*parent_path=*/nullptr, 1.0, 1.0, -1);
 }
 
+// ---------------------------------------------------------------------------
+// Fast batch path.
+//
+// The per-row recursion above recomputes, at every node, quantities that do
+// not depend on the sample at all: the sample enters Algorithm 2 only
+// through goes_left (which child is hot). The zero_fraction of every edge
+// is a product of cover ratios folded through duplicate features — purely
+// structural — and the unique-path composition (which features sit at which
+// path indices, and hence where a duplicate split feature is found) is
+// structural too. A one-time DFS per layout records both per node, with the
+// *identical* floating-point expression order the recursion uses
+// (`child_cover / cover * incoming_zero_fraction`), so the precomputed
+// doubles are bit-equal to the ones the reference path derives per row.
+
+/// Structural half of shap_recurse: walks one tree maintaining only the
+/// (feature, zero_fraction) path with duplicate folding, recording per-node
+/// metadata. Mirrors the reference op order exactly.
+template <class Traversal>
+void build_meta_recurse(const Traversal& tree, ShapMeta& meta,
+                        std::int32_t node_index, int level, int unique_depth,
+                        const PathElement* parent_path,
+                        double parent_zero_fraction, int parent_feature_index,
+                        PathElement* storage, int stride, int& leaf_count) {
+  PathElement* path = storage + static_cast<std::size_t>(level) *
+                                    static_cast<std::size_t>(stride);
+  for (int i = 0; i < unique_depth; ++i) path[i] = parent_path[i];
+  path[unique_depth] = {parent_feature_index, parent_zero_fraction, 0.0, 0.0};
+
+  const auto node = static_cast<std::size_t>(node_index);
+  meta.entry_zero_fraction[node] = parent_zero_fraction;
+  if (tree.is_leaf(node)) {
+    ++leaf_count;
+    return;
+  }
+
+  const std::int32_t feature = tree.split_feature(node);
+  int path_index = 1;
+  for (; path_index <= unique_depth; ++path_index) {
+    if (path[path_index].feature_index == feature) break;
+  }
+  double incoming_zero_fraction = 1.0;
+  int depth_after = unique_depth;
+  if (path_index <= unique_depth) {
+    meta.dup_index[node] = path_index;
+    incoming_zero_fraction = path[path_index].zero_fraction;
+    for (int i = path_index; i < unique_depth; ++i) {
+      path[i].feature_index = path[i + 1].feature_index;
+      path[i].zero_fraction = path[i + 1].zero_fraction;
+    }
+    depth_after = unique_depth - 1;
+  } else {
+    meta.dup_index[node] = 0;
+  }
+
+  const std::int32_t left = tree.left_child(node);
+  const std::int32_t right = tree.right_child(node);
+  const double cover = tree.cover[node];
+  // Same expression shape as the recursion's hot/cold arguments; which
+  // child is hot only swaps which of the two symmetric expressions it
+  // receives, so computing both per child here is bit-equivalent.
+  build_meta_recurse(tree, meta, left, level + 1, depth_after + 1, path,
+                     tree.cover[static_cast<std::size_t>(left)] / cover *
+                         incoming_zero_fraction,
+                     feature, storage, stride, leaf_count);
+  build_meta_recurse(tree, meta, right, level + 1, depth_after + 1, path,
+                     tree.cover[static_cast<std::size_t>(right)] / cover *
+                         incoming_zero_fraction,
+                     feature, storage, stride, leaf_count);
+}
+
+template <class Traversal>
+ShapMeta build_meta(const Traversal& tree, std::size_t n_nodes,
+                    std::size_t n_trees, const std::int32_t* roots,
+                    int max_depth) {
+  ShapMeta meta;
+  meta.entry_zero_fraction.assign(n_nodes, 1.0);
+  meta.dup_index.assign(n_nodes, 0);
+  std::vector<PathElement> storage(
+      static_cast<std::size_t>(max_depth + 1) *
+      static_cast<std::size_t>(max_depth + 2));
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    int leaves = 0;
+    build_meta_recurse(tree, meta, roots[t], /*level=*/0, /*unique_depth=*/0,
+                       /*parent_path=*/nullptr, 1.0, -1, storage.data(),
+                       max_depth + 2, leaves);
+    if (leaves > meta.max_leaves) meta.max_leaves = leaves;
+  }
+  return meta;
+}
+
+/// Leaf attribution with the per-feature UNWOUND_PATH_SUM chains
+/// interleaved four wide. Each chain is a serial recurrence through two
+/// divisions per step (~40 cycles of latency the divider spends mostly
+/// idle); the chains for different path elements only share the read-only
+/// path, so running four in lockstep pipelines the divider without touching
+/// any chain's operand order. phi updates stay in ascending element order
+/// (they would commute anyway: unique-path features are distinct).
+template <class Traversal>
+inline void leaf_accumulate(const Traversal& tree, std::size_t node,
+                            const PathElement* path, int unique_depth,
+                            double* phi) {
+  const double leaf_value = tree.value[node];
+  const double top_pweight = path[unique_depth].pweight;
+  int i = 1;
+  for (; i + 3 <= unique_depth; i += 4) {
+    double total[4] = {0.0, 0.0, 0.0, 0.0};
+    double next_one[4];
+    double zf[4];
+    double of[4];
+    for (int k = 0; k < 4; ++k) {
+      next_one[k] = top_pweight;
+      zf[k] = path[i + k].zero_fraction;
+      of[k] = path[i + k].one_fraction;
+    }
+    for (int j = unique_depth - 1; j >= 0; --j) {
+      const double pw = path[j].pweight;
+      for (int k = 0; k < 4; ++k) {
+        if (of[k] != 0.0) {
+          const double tmp = next_one[k] * (unique_depth + 1) /
+                             static_cast<double>((j + 1) * of[k]);
+          total[k] += tmp;
+          next_one[k] = pw - tmp * zf[k] * (unique_depth - j) /
+                                 static_cast<double>(unique_depth + 1);
+        } else {
+          total[k] += pw * (unique_depth + 1) /
+                      static_cast<double>(zf[k] * (unique_depth - j));
+        }
+      }
+    }
+    for (int k = 0; k < 4; ++k) {
+      phi[static_cast<std::size_t>(path[i + k].feature_index)] +=
+          total[k] * (of[k] - zf[k]) * leaf_value;
+    }
+  }
+  for (; i <= unique_depth; ++i) {
+    const double w = unwound_path_sum(path, unique_depth, i);
+    phi[static_cast<std::size_t>(path[i].feature_index)] +=
+        w * (path[i].one_fraction - path[i].zero_fraction) * leaf_value;
+  }
+}
+
+/// Iterative fast traversal of one tree for one sample. Visits leaves in
+/// exactly the reference order (hot subtree fully, then cold — the LIFO
+/// stack preserves DFS order), feeds EXTEND/UNWIND the same operands, and
+/// uses the precomputed metadata only to *skip* recomputing structural
+/// values (the two cover divisions and the duplicate search per node, and
+/// one of the two path copies: a cold child extends its parent's slot in
+/// place, because the parent path is dead once the hot subtree returned).
+template <class Traversal>
+void fast_tree_shap(const Traversal& tree, const ShapMeta& meta,
+                    std::int32_t root, double* phi, PathElement* storage,
+                    int stride, std::vector<FastFrame>& stack) {
+  stack.clear();
+  stack.push_back({root, 0, 0, -1, 1.0});
+  while (!stack.empty()) {
+    FastFrame frame = stack.back();
+    stack.pop_back();
+    std::int32_t node_index = frame.node;
+    std::int32_t slot = frame.slot;
+    int unique_depth = frame.unique_depth;
+    double one_fraction = frame.one_fraction;
+    int feature = frame.feature;
+    PathElement* path = storage + static_cast<std::size_t>(slot) *
+                                      static_cast<std::size_t>(stride);
+    for (;;) {
+      const auto node = static_cast<std::size_t>(node_index);
+      extend_path_01(path, unique_depth, meta.entry_zero_fraction[node],
+                     one_fraction, feature);
+      if (tree.is_leaf(node)) {
+        leaf_accumulate(tree, node, path, unique_depth, phi);
+        break;
+      }
+      feature = tree.split_feature(node);
+      const int path_index = meta.dup_index[node];
+      double incoming_one_fraction = 1.0;
+      int depth_after = unique_depth;
+      if (path_index != 0) {
+        incoming_one_fraction = path[path_index].one_fraction;
+        unwind_path(path, unique_depth, path_index);
+        depth_after = unique_depth - 1;
+      }
+      const std::int32_t left = tree.left_child(node);
+      const std::int32_t right = tree.right_child(node);
+      const bool goes_left = tree.goes_left(node);
+      const std::int32_t hot = goes_left ? left : right;
+      const std::int32_t cold = goes_left ? right : left;
+      stack.push_back({cold, slot, depth_after + 1, feature, 0.0});
+      PathElement* hot_path = storage + static_cast<std::size_t>(slot + 1) *
+                                            static_cast<std::size_t>(stride);
+      for (int i = 0; i <= depth_after; ++i) hot_path[i] = path[i];
+      path = hot_path;
+      node_index = hot;
+      ++slot;
+      unique_depth = depth_after + 1;
+      one_fraction = incoming_one_fraction;
+    }
+  }
+}
+
 /// Scratch sizing for one forest: a level-L path holds <= L+1 elements.
 std::size_t path_scratch_len(const FlatForest& forest) {
   return static_cast<std::size_t>(forest.max_depth() + 1) *
          static_cast<std::size_t>(forest.max_depth() + 2);
+}
+
+/// $DRCSHAP_SHAP_FAST=0 pins the batch engine to the reference recursion —
+/// the kill switch the byte-identity tests (and a CI leg) flip to prove the
+/// fast path changes no output bit.
+bool shap_fast_from_env() {
+  const char* env = std::getenv("DRCSHAP_SHAP_FAST");
+  if (env == nullptr) return true;
+  const std::string_view value(env);
+  return !(value == "0" || value == "off" || value == "false" ||
+           value == "OFF");
 }
 
 // Trees per reduction block of the batch engine. The block partition is a
@@ -249,6 +388,20 @@ constexpr std::size_t kTreesPerBlock = 64;
 constexpr std::size_t kPartialBudget = 2048;
 
 }  // namespace
+
+namespace detail {
+
+/// Lazily-built structural metadata, one slot per layout. Shared (via
+/// shared_ptr) by every copy of an explainer, so the serving daemon's
+/// per-batch explainer snapshots reuse one build.
+struct ShapMetaCell {
+  std::once_flag exact_once;
+  std::once_flag compiled_once;
+  ShapMeta exact;
+  ShapMeta compiled;
+};
+
+}  // namespace detail
 
 std::vector<double> TreeShapExplainer::tree_shap_values(
     const DecisionTree& tree, std::span<const float> features) {
@@ -270,7 +423,9 @@ TreeShapExplainer::TreeShapExplainer(const RandomForestClassifier& forest) {
   }
   flat_ = forest.flat_shared();
   compiled_ = forest.compiled_shared();
+  meta_ = std::make_shared<detail::ShapMetaCell>();
   base_value_ = forest.expected_value();
+  model_digest_ = compute_model_digest();
 }
 
 bool TreeShapExplainer::use_compiled() const {
@@ -281,6 +436,33 @@ bool TreeShapExplainer::use_compiled() const {
                                   : ForestEngine::kExact;
   }
   return engine == ForestEngine::kCompiled && compiled_ != nullptr;
+}
+
+std::uint64_t TreeShapExplainer::compute_model_digest() const {
+  // Structural FNV-1a over what determines phi: tree shapes live in the
+  // child topology, but covers + values + roots pin the ensemble well
+  // enough to keep one cache from serving another model's rows.
+  const FlatForest& flat = *flat_;
+  std::uint64_t h = ExplanationCache::digest(nullptr, 0);
+  const auto fold = [&h](const void* bytes, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(bytes);
+    for (std::size_t i = 0; i < len; ++i) {
+      h ^= p[i];
+      h *= 1099511628211ull;
+    }
+  };
+  const std::size_t n_nodes = flat.n_nodes();
+  const std::size_t n_trees = flat.n_trees();
+  fold(&n_nodes, sizeof(n_nodes));
+  fold(&n_trees, sizeof(n_trees));
+  for (std::size_t t = 0; t < n_trees; ++t) {
+    const std::int32_t root = flat.root(t);
+    fold(&root, sizeof(root));
+  }
+  fold(flat.feature(), n_nodes * sizeof(std::int32_t));
+  fold(flat.value(), n_nodes * sizeof(double));
+  fold(flat.cover(), n_nodes * sizeof(double));
+  return h;
 }
 
 std::vector<double> TreeShapExplainer::shap_values(
@@ -332,118 +514,305 @@ ShapMatrix TreeShapExplainer::shap_values_batch(std::span<const float> features,
   }
   DRCSHAP_OBS_TIMER("shap/values_batch");
   obs::counter_add("shap/batch_samples", n_rows);
-  obs::counter_add("shap/tree_traversals", n_rows * flat.n_trees());
   // Pin the traversal engine once per batch; the note lets run reports show
   // which layout served the explanation pass.
   const CompiledForest* compiled = use_compiled() ? compiled_.get() : nullptr;
   obs::note_set("shap/engine", compiled != nullptr ? "compiled" : "exact");
+  const bool fast = shap_fast_from_env();
+  obs::note_set("shap/fast_path", fast ? "on" : "off");
+  ExplanationCache* cache =
+      (cache_ != nullptr && ExplanationCache::enabled_by_env()) ? cache_.get()
+                                                                : nullptr;
   ShapMatrix out;
   out.n_rows = n_rows;
   out.n_features = n_features;
   out.values.assign(n_rows * n_features, 0.0);
   if (n_rows == 0) return out;
 
-  const std::size_t n_trees = flat.n_trees();
-  const std::size_t n_blocks = (n_trees + kTreesPerBlock - 1) / kTreesPerBlock;
-  const double inv = 1.0 / static_cast<double>(n_trees);
-  const int stride = flat.max_depth() + 2;
-  const std::size_t scratch_len = path_scratch_len(flat);
-
   ThreadPool& pool = ThreadPool::global();
-  // One scratch slot per shared-pool worker: the Algorithm-2 path storage
-  // plus, for the compiled engine, the sample's quantized codes. Ranges may
-  // also run inline on the calling thread (worker index -1 when it is not a
-  // pool worker), but only when nothing was submitted — a serial-degraded
-  // nested call runs entirely on its outer worker, and a top-level inline
-  // run has no workers active in this call — so a slot is never contended
-  // within one call.
-  struct WorkerScratch {
-    std::vector<PathElement> path;
-    std::vector<std::uint16_t> codes;
-  };
-  std::vector<WorkerScratch> scratch(pool.size());
-  auto worker_scratch = [&]() -> WorkerScratch& {
-    const int w = ThreadPool::current_worker_index();
-    const std::size_t slot =
-        (w < 0 || static_cast<std::size_t>(w) >= scratch.size())
-            ? 0
-            : static_cast<std::size_t>(w);
-    WorkerScratch& ws = scratch[slot];
-    if (ws.path.size() < scratch_len) ws.path.assign(scratch_len, {});
-    if (compiled != nullptr && ws.codes.size() < n_features) {
-      ws.codes.resize(n_features);
-    }
-    return ws;
-  };
-  // Accumulate trees [t_begin, t_end) for sample `x` into `phi` in fixed
-  // tree order, over whichever layout the engine selected.
-  auto accumulate_trees = [&](const float* x, double* phi,
-                              std::size_t t_begin, std::size_t t_end) {
-    WorkerScratch& ws = worker_scratch();
-    if (compiled != nullptr) {
-      compiled->quantize_sample(x, ws.codes.data());
-      for (std::size_t t = t_begin; t < t_end; ++t) {
-        compiled_tree_shap(*compiled, t, ws.codes.data(), phi,
-                           ws.path.data(), stride);
-      }
-    } else {
-      for (std::size_t t = t_begin; t < t_end; ++t) {
-        flat_tree_shap(flat, t, x, phi, ws.path.data(), stride);
-      }
-    }
-  };
 
-  if (n_blocks == 1) {
-    // Small ensemble: one work unit per sample writes its output row
-    // directly, accumulating trees in fixed order.
+  // Quantize every row once up front under the compiled engine: the codes
+  // are both the traversal input and the dedupe/cache key.
+  std::vector<std::uint16_t> codes;
+  if (compiled != nullptr) {
+    codes.resize(n_rows * n_features);
     pool.parallel_for(
         n_rows,
-        [&](std::size_t s) {
-          const float* x = features.data() + s * n_features;
-          double* phi = out.values.data() + s * n_features;
-          accumulate_trees(x, phi, 0, n_trees);
-          for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
+        [&](std::size_t r) {
+          compiled->quantize_sample(features.data() + r * n_features,
+                                    codes.data() + r * n_features);
         },
-        /*grain=*/0, /*max_workers=*/n_threads);
-    return out;
+        /*grain=*/8, /*max_workers=*/n_threads);
   }
 
-  // Large ensemble: (sample, tree-block) work units write per-unit partial
-  // phi rows, merged per sample in ascending block order. Samples stream
-  // through in slabs so the partial buffer stays bounded.
-  const std::size_t slab = std::max<std::size_t>(1, kPartialBudget / n_blocks);
-  std::vector<double> partial(std::min(slab, n_rows) * n_blocks * n_features);
-  for (std::size_t begin = 0; begin < n_rows; begin += slab) {
-    const std::size_t count = std::min(slab, n_rows - begin);
-    std::fill(partial.begin(),
-              partial.begin() +
-                  static_cast<std::ptrdiff_t>(count * n_blocks * n_features),
-              0.0);
-    pool.parallel_for(
-        count * n_blocks,
-        [&](std::size_t unit) {
-          const std::size_t local = unit / n_blocks;
-          const std::size_t block = unit % n_blocks;
-          const float* x = features.data() + (begin + local) * n_features;
-          double* phi =
-              partial.data() + (local * n_blocks + block) * n_features;
-          const std::size_t t_begin = block * kTreesPerBlock;
-          const std::size_t t_end = std::min(n_trees, t_begin + kTreesPerBlock);
-          accumulate_trees(x, phi, t_begin, t_end);
-        },
-        /*grain=*/0, /*max_workers=*/n_threads);
-    pool.parallel_for(
-        count,
-        [&](std::size_t local) {
-          double* dst = out.values.data() + (begin + local) * n_features;
-          for (std::size_t block = 0; block < n_blocks; ++block) {
-            const double* src =
-                partial.data() + (local * n_blocks + block) * n_features;
-            for (std::size_t f = 0; f < n_features; ++f) dst[f] += src[f];
+  // --- Dedupe rows on their explanation key. Rows with byte-equal keys
+  // take the same branch at every split, so their phi rows are bit-equal:
+  // explain one representative, scatter to the rest.
+  const std::size_t key_len = compiled != nullptr
+                                  ? n_features * sizeof(std::uint16_t)
+                                  : n_features * sizeof(float);
+  const auto key_ptr = [&](std::size_t r) -> const void* {
+    if (compiled != nullptr) return codes.data() + r * n_features;
+    return features.data() + r * n_features;
+  };
+  std::vector<std::uint32_t> rep(n_rows);
+  std::vector<std::uint32_t> uniques;
+  uniques.reserve(n_rows);
+  {
+    std::unordered_map<std::uint64_t, std::vector<std::uint32_t>> by_digest;
+    by_digest.reserve(n_rows * 2);
+    for (std::size_t r = 0; r < n_rows; ++r) {
+      const std::uint64_t d = ExplanationCache::digest(key_ptr(r), key_len);
+      auto& chain = by_digest[d];
+      const auto row32 = static_cast<std::uint32_t>(r);
+      std::uint32_t found = row32;
+      for (const std::uint32_t u : chain) {
+        if (std::memcmp(key_ptr(u), key_ptr(r), key_len) == 0) {
+          found = u;
+          break;
+        }
+      }
+      rep[r] = found;
+      if (found == row32) {
+        chain.push_back(row32);
+        uniques.push_back(row32);
+      }
+    }
+  }
+  obs::counter_add("shap/batch_unique_rows", uniques.size());
+
+  // --- Serve unique rows from the cache where possible.
+  std::vector<std::uint32_t> pending;
+  if (cache != nullptr) {
+    pending.reserve(uniques.size());
+    const std::uint64_t salt = model_digest_;
+    for (const std::uint32_t u : uniques) {
+      if (!cache->lookup(salt, key_ptr(u), key_len,
+                         out.values.data() + std::size_t{u} * n_features,
+                         n_features)) {
+        pending.push_back(u);
+      }
+    }
+    obs::counter_add("shap/cache_hits", uniques.size() - pending.size());
+    obs::counter_add("shap/cache_misses", pending.size());
+  } else {
+    pending = uniques;
+  }
+
+  // --- Compute the remaining rows with the same block/merge structure as
+  // ever (bit-identical at any thread count), through the fast walk unless
+  // the kill switch pinned the reference recursion.
+  if (!pending.empty()) {
+    const std::size_t n_trees = flat.n_trees();
+    const std::size_t n_blocks =
+        (n_trees + kTreesPerBlock - 1) / kTreesPerBlock;
+    const double inv = 1.0 / static_cast<double>(n_trees);
+    const int stride = flat.max_depth() + 2;
+    const std::size_t scratch_len = path_scratch_len(flat);
+    obs::counter_add("shap/tree_traversals", pending.size() * n_trees);
+
+    const ShapMeta* meta = nullptr;
+    if (fast) {
+      if (compiled != nullptr) {
+        std::call_once(meta_->compiled_once, [&] {
+          std::vector<std::int32_t> roots(compiled->n_trees());
+          for (std::size_t t = 0; t < compiled->n_trees(); ++t) {
+            roots[t] = compiled->root(t);
           }
-          for (std::size_t f = 0; f < n_features; ++f) dst[f] *= inv;
-        },
-        /*grain=*/0, /*max_workers=*/n_threads);
+          meta_->compiled = build_meta(
+              CompiledTraversal{compiled->feature(), compiled->qthreshold(),
+                                compiled->child(), compiled->value(),
+                                compiled->cover(), nullptr},
+              compiled->n_nodes(), compiled->n_trees(), roots.data(),
+              compiled->max_depth());
+        });
+        meta = &meta_->compiled;
+      } else {
+        std::call_once(meta_->exact_once, [&] {
+          std::vector<std::int32_t> roots(flat.n_trees());
+          for (std::size_t t = 0; t < flat.n_trees(); ++t) {
+            roots[t] = flat.root(t);
+          }
+          meta_->exact = build_meta(
+              ExactTraversal{flat.feature(), flat.threshold(), flat.left(),
+                             flat.right(), flat.value(), flat.cover(),
+                             nullptr},
+              flat.n_nodes(), flat.n_trees(), roots.data(), flat.max_depth());
+        });
+        meta = &meta_->exact;
+      }
+    }
+
+    // One scratch slot per shared-pool worker: the Algorithm-2 path storage
+    // plus the fast walk's frame stack. Ranges may also run inline on the
+    // calling thread (worker index -1 when it is not a pool worker), but
+    // only when nothing was submitted — a serial-degraded nested call runs
+    // entirely on its outer worker, and a top-level inline run has no
+    // workers active in this call — so a slot is never contended within one
+    // call.
+    struct WorkerScratch {
+      std::vector<PathElement> path;
+      std::vector<FastFrame> stack;
+      shap_detail::ShapJobEngine engine;
+    };
+    std::vector<WorkerScratch> scratch(pool.size());
+    auto worker_scratch = [&]() -> WorkerScratch& {
+      const int w = ThreadPool::current_worker_index();
+      const std::size_t slot =
+          (w < 0 || static_cast<std::size_t>(w) >= scratch.size())
+              ? 0
+              : static_cast<std::size_t>(w);
+      WorkerScratch& ws = scratch[slot];
+      if (ws.path.size() < scratch_len) ws.path.assign(scratch_len, {});
+      return ws;
+    };
+    // The AVX2+FMA walk batches each tree's leaf chains through vector
+    // kernels; it is byte-identical to the scalar walk, entered only behind
+    // the build flag + runtime cpuid + $DRCSHAP_SIMD, and bounded by the
+    // reciprocal table depth.
+#if DRCSHAP_SIMD_ENABLED
+    const bool simd_walk =
+        fast && shap_detail::simd_walk_available() &&
+        flat.max_depth() <= shap_detail::kSimdWalkMaxDepth;
+#else
+    const bool simd_walk = false;
+#endif
+    obs::note_set("shap/walk",
+                  !fast ? "reference" : (simd_walk ? "avx2" : "scalar"));
+    // Accumulate trees [t_begin, t_end) for row `row` into `phi` in fixed
+    // tree order, over whichever layout the engine selected.
+    auto accumulate_trees = [&](std::size_t row, double* phi,
+                                std::size_t t_begin, std::size_t t_end) {
+      WorkerScratch& ws = worker_scratch();
+#if DRCSHAP_SIMD_ENABLED
+      if (simd_walk) ws.engine.init(stride, meta->max_leaves);
+#endif
+      if (compiled != nullptr) {
+        const std::uint16_t* qx = codes.data() + row * n_features;
+        if (meta != nullptr) {
+          const CompiledTraversal trav{
+              compiled->feature(), compiled->qthreshold(), compiled->child(),
+              compiled->value(),   compiled->cover(),      qx};
+#if DRCSHAP_SIMD_ENABLED
+          if (simd_walk) {
+            for (std::size_t t = t_begin; t < t_end; ++t) {
+              shap_detail::fast_tree_shap_avx2(trav, *meta, compiled->root(t),
+                                               phi, ws.path.data(), stride,
+                                               ws.stack, ws.engine);
+            }
+            return;
+          }
+#endif
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            fast_tree_shap(trav, *meta, compiled->root(t), phi,
+                           ws.path.data(), stride, ws.stack);
+          }
+        } else {
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            compiled_tree_shap(*compiled, t, qx, phi, ws.path.data(), stride);
+          }
+        }
+      } else {
+        const float* x = features.data() + row * n_features;
+        if (meta != nullptr) {
+          const ExactTraversal trav{flat.feature(), flat.threshold(),
+                                    flat.left(),    flat.right(),
+                                    flat.value(),   flat.cover(),
+                                    x};
+#if DRCSHAP_SIMD_ENABLED
+          if (simd_walk) {
+            for (std::size_t t = t_begin; t < t_end; ++t) {
+              shap_detail::fast_tree_shap_avx2(trav, *meta, flat.root(t), phi,
+                                               ws.path.data(), stride,
+                                               ws.stack, ws.engine);
+            }
+            return;
+          }
+#endif
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            fast_tree_shap(trav, *meta, flat.root(t), phi, ws.path.data(),
+                           stride, ws.stack);
+          }
+        } else {
+          for (std::size_t t = t_begin; t < t_end; ++t) {
+            flat_tree_shap(flat, t, x, phi, ws.path.data(), stride);
+          }
+        }
+      }
+    };
+
+    if (n_blocks == 1) {
+      // Small ensemble: one work unit per pending row writes its output row
+      // directly, accumulating trees in fixed order.
+      pool.parallel_for(
+          pending.size(),
+          [&](std::size_t i) {
+            const std::size_t row = pending[i];
+            double* phi = out.values.data() + row * n_features;
+            accumulate_trees(row, phi, 0, n_trees);
+            for (std::size_t f = 0; f < n_features; ++f) phi[f] *= inv;
+          },
+          /*grain=*/0, /*max_workers=*/n_threads);
+    } else {
+      // Large ensemble: (row, tree-block) work units write per-unit partial
+      // phi rows, merged per row in ascending block order. Rows stream
+      // through in slabs so the partial buffer stays bounded.
+      const std::size_t slab =
+          std::max<std::size_t>(1, kPartialBudget / n_blocks);
+      std::vector<double> partial(std::min(slab, pending.size()) * n_blocks *
+                                  n_features);
+      for (std::size_t begin = 0; begin < pending.size(); begin += slab) {
+        const std::size_t count = std::min(slab, pending.size() - begin);
+        std::fill(partial.begin(),
+                  partial.begin() + static_cast<std::ptrdiff_t>(
+                                        count * n_blocks * n_features),
+                  0.0);
+        pool.parallel_for(
+            count * n_blocks,
+            [&](std::size_t unit) {
+              const std::size_t local = unit / n_blocks;
+              const std::size_t block = unit % n_blocks;
+              double* phi =
+                  partial.data() + (local * n_blocks + block) * n_features;
+              const std::size_t t_begin = block * kTreesPerBlock;
+              const std::size_t t_end =
+                  std::min(n_trees, t_begin + kTreesPerBlock);
+              accumulate_trees(pending[begin + local], phi, t_begin, t_end);
+            },
+            /*grain=*/0, /*max_workers=*/n_threads);
+        pool.parallel_for(
+            count,
+            [&](std::size_t local) {
+              double* dst = out.values.data() +
+                            std::size_t{pending[begin + local]} * n_features;
+              for (std::size_t block = 0; block < n_blocks; ++block) {
+                const double* src =
+                    partial.data() + (local * n_blocks + block) * n_features;
+                for (std::size_t f = 0; f < n_features; ++f) dst[f] += src[f];
+              }
+              for (std::size_t f = 0; f < n_features; ++f) dst[f] *= inv;
+            },
+            /*grain=*/0, /*max_workers=*/n_threads);
+      }
+    }
+
+    if (cache != nullptr) {
+      const std::uint64_t salt = model_digest_;
+      for (const std::uint32_t u : pending) {
+        cache->insert(salt, key_ptr(u), key_len,
+                      out.values.data() + std::size_t{u} * n_features,
+                      n_features);
+      }
+    }
+  }
+
+  // --- Scatter representatives to their duplicates.
+  for (std::size_t r = 0; r < n_rows; ++r) {
+    if (rep[r] != r) {
+      std::memcpy(out.values.data() + r * n_features,
+                  out.values.data() + std::size_t{rep[r]} * n_features,
+                  n_features * sizeof(double));
+    }
   }
   return out;
 }

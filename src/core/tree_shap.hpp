@@ -26,8 +26,37 @@
 // monotone quantization preserves every split decision and both layouts
 // carry the same value/cover doubles, so SHAP outputs are byte-identical
 // whichever engine runs.
+//
+// The batch engine additionally runs a *fast path* that amortizes the
+// sample-independent half of Algorithm 2 across the whole batch. The key
+// observation: a sample enters the recursion only through the hot/cold
+// branch decision at each split. Everything else — the unique-path
+// composition after duplicate-feature folding, the unique depth at every
+// node, and the zero_fractions (products of cover ratios) — is a function
+// of the tree alone. A one-time structural DFS per layout precomputes, per
+// node, the entry zero_fraction (with the exact op order of the original
+// recursion, so the doubles are bit-equal), the folded unique depth, and
+// the unique-path index of a duplicate split feature; the per-row walk then
+// skips the two cover divisions and the O(depth) duplicate search at every
+// node, specializes EXTEND on the fact that one_fractions are exactly 0.0
+// or 1.0, halves the path copies by extending cold children in the parent's
+// scratch slot, and interleaves the independent per-feature UNWIND chains
+// at each leaf so the division unit pipelines instead of stalling. Every
+// floating-point op that contributes to phi keeps its original operands and
+// order, so fast-path phi is byte-identical to the reference recursion
+// (kept verbatim behind the single-sample shap_values and the
+// $DRCSHAP_SHAP_FAST=0 kill switch).
+//
+// On top of the fast path, shap_values_batch dedupes rows before compute:
+// rows with byte-equal keys (quantized code vectors under the compiled
+// engine, raw float rows under the exact one) provably share one phi row,
+// so each unique row is explained once and scattered to its duplicates.
+// With a shared ExplanationCache attached (core/explanation_cache.hpp),
+// unique rows are additionally served from — and inserted into — the cache,
+// carrying the dedupe across batches and serve requests.
 
 #include <cstddef>
+#include <cstdint>
 #include <memory>
 #include <span>
 #include <vector>
@@ -35,6 +64,12 @@
 #include "core/random_forest.hpp"
 
 namespace drcshap {
+
+class ExplanationCache;
+
+namespace detail {
+struct ShapMetaCell;  // lazily built per-layout structural metadata
+}  // namespace detail
 
 /// Row-major matrix of SHAP values: one row of n_features doubles per
 /// explained sample.
@@ -60,6 +95,21 @@ class TreeShapExplainer {
   /// the compiled layout when available; kCompiled without a compiled
   /// layout falls back to exact. Outputs are byte-identical either way.
   void set_engine(ForestEngine engine) { engine_ = engine; }
+
+  /// Attaches a shared explanation cache consulted (and filled) by
+  /// shap_values_batch for each unique row. Copies of the explainer share
+  /// the cache, so the serving daemon's per-batch explainer snapshots all
+  /// hit one store. nullptr detaches. $DRCSHAP_EXPLAIN_CACHE=0 bypasses an
+  /// attached cache without detaching it.
+  void set_cache(std::shared_ptr<ExplanationCache> cache) {
+    cache_ = std::move(cache);
+  }
+  const std::shared_ptr<ExplanationCache>& cache() const { return cache_; }
+
+  /// Structural FNV-1a digest of the snapshotted ensemble (features, values,
+  /// covers, roots). Used as the cache key salt so a cache accidentally
+  /// shared across models can never serve a stale row.
+  std::uint64_t model_digest() const { return model_digest_; }
 
   /// E[f(x)] over the training distribution (cover-weighted).
   double base_value() const { return base_value_; }
@@ -90,9 +140,19 @@ class TreeShapExplainer {
   /// True when the next traversal should walk the compiled layout.
   bool use_compiled() const;
 
+  /// One-time structural digest over the FlatForest snapshot (ctor only).
+  std::uint64_t compute_model_digest() const;
+
   std::shared_ptr<const FlatForest> flat_;
   std::shared_ptr<const CompiledForest> compiled_;
+  /// Shared lazily-initialized structural metadata of the fast batch path
+  /// (one slot per layout). Copies of the explainer — the serving daemon
+  /// snapshots one per batch — share the cell, so the one-time DFS cost is
+  /// paid once per loaded model, not once per batch.
+  std::shared_ptr<detail::ShapMetaCell> meta_;
+  std::shared_ptr<ExplanationCache> cache_;
   double base_value_;
+  std::uint64_t model_digest_ = 0;
   ForestEngine engine_ = ForestEngine::kAuto;
 };
 

@@ -5,6 +5,7 @@
 #include <string>
 #include <utility>
 
+#include "core/explanation.hpp"
 #include "obs/registry.hpp"
 
 namespace drcshap::serve {
@@ -109,6 +110,7 @@ void Batcher::run_batch(std::vector<Pending*>& batch) {
   const std::shared_ptr<const ServedModel> model = registry_.current();
   std::vector<Pending*> score_items;
   std::vector<Pending*> explain_items;
+  std::vector<Pending*> global_items;
   for (Pending* pending : batch) {
     const Request& request = pending->request;
     if (model == nullptr) {
@@ -125,11 +127,16 @@ void Batcher::run_batch(std::vector<Pending*>& batch) {
               std::to_string(model->n_features));
       continue;
     }
-    (request.verb == Verb::kScore ? score_items : explain_items)
+    (request.verb == Verb::kScore
+         ? score_items
+         : request.verb == Verb::kExplain ? explain_items : global_items)
         .push_back(pending);
   }
   if (!score_items.empty()) serve_verb(model, score_items, Verb::kScore);
   if (!explain_items.empty()) serve_verb(model, explain_items, Verb::kExplain);
+  if (!global_items.empty()) {
+    serve_verb(model, global_items, Verb::kGlobalExplain);
+  }
 }
 
 void Batcher::serve_verb(const std::shared_ptr<const ServedModel>& model,
@@ -173,15 +180,62 @@ void Batcher::serve_verb(const std::shared_ptr<const ServedModel>& model,
   DRCSHAP_OBS_TIMER("serve/batch_explain");
   {
     std::lock_guard<std::mutex> guard(mu_);
-    stats_.explain_rows += total_rows;
+    (verb == Verb::kExplain ? stats_.explain_rows
+                            : stats_.global_explain_rows) += total_rows;
   }
-  obs::counter_add("serve/explain_rows", total_rows);
+  obs::counter_add(verb == Verb::kExplain ? "serve/explain_rows"
+                                          : "serve/global_explain_rows",
+                   total_rows);
   // The explainer snapshot inside ServedModel is immutable; a per-batch
-  // copy (two shared_ptrs + scalars) carries the engine choice.
+  // copy (a few shared_ptrs + scalars) carries the engine choice and shares
+  // the model's explanation cache.
   TreeShapExplainer explainer = model->explainer;
   explainer.set_engine(options_.engine);
+  const ExplanationCacheStats cache_before = model->explain_cache->stats();
   const ShapMatrix shap = explainer.shap_values_batch(
       std::span<const float>(matrix), total_rows, options_.n_threads);
+  const ExplanationCacheStats cache_after = model->explain_cache->stats();
+  const std::uint64_t hits = cache_after.hits - cache_before.hits;
+  const std::uint64_t misses = cache_after.misses - cache_before.misses;
+  double hit_rate = 0.0;
+  {
+    std::lock_guard<std::mutex> guard(mu_);
+    stats_.explain_cache_hits += hits;
+    stats_.explain_cache_misses += misses;
+    hit_rate = stats_.explain_cache_hit_rate();
+  }
+  if (hits > 0) obs::counter_add("serve/explain_cache_hits", hits);
+  if (misses > 0) obs::counter_add("serve/explain_cache_misses", misses);
+  obs::gauge_set("serve/explain_cache_hit_rate", hit_rate);
+
+  if (verb == Verb::kGlobalExplain) {
+    // Per request: fold its slice of the phi matrix through the streaming
+    // accumulator and reply with the O(n_features) stat rows only.
+    std::size_t offset = 0;
+    for (Pending* pending : items) {
+      Response& response = pending->response;
+      response.id = pending->request.id;
+      response.verb = verb;
+      response.status = StatusCode::kOk;
+      response.n_rows = pending->request.n_rows;
+      response.n_features = static_cast<std::uint32_t>(n_features);
+      response.base_value = explainer.base_value();
+      GlobalShapSummary summary(n_features);
+      for (std::uint32_t r = 0; r < pending->request.n_rows; ++r) {
+        summary.add(std::span<const double>(
+            shap.values.data() + (offset + r) * n_features, n_features));
+      }
+      response.values.resize(std::size_t{kGlobalStatRows} * n_features);
+      for (std::size_t f = 0; f < n_features; ++f) {
+        response.values[f] = summary.mean_abs(f);
+        response.values[n_features + f] = summary.mean_signed(f);
+        response.values[2 * n_features + f] = summary.positive_fraction(f);
+      }
+      offset += pending->request.n_rows;
+    }
+    return;
+  }
+
   std::size_t offset = 0;
   for (Pending* pending : items) {
     Response& response = pending->response;

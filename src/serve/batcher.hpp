@@ -66,10 +66,23 @@ class Batcher {
     std::uint64_t batches = 0;
     std::uint64_t score_rows = 0;
     std::uint64_t explain_rows = 0;
+    std::uint64_t global_explain_rows = 0;
     std::uint64_t rejected = 0;
+    /// Explanation-cache traffic of the explain/global-explain paths,
+    /// accumulated across model versions (each ServedModel owns a fresh
+    /// cache, so these outlive any single cache's own counters).
+    std::uint64_t explain_cache_hits = 0;
+    std::uint64_t explain_cache_misses = 0;
     std::size_t queue_depth = 0;      ///< requests pending right now
     std::size_t max_queue_depth = 0;  ///< high-water mark
     std::array<std::uint64_t, kBatchHistogramBuckets> batch_rows_histogram{};
+
+    double explain_cache_hit_rate() const {
+      const std::uint64_t lookups = explain_cache_hits + explain_cache_misses;
+      return lookups == 0 ? 0.0
+                          : static_cast<double>(explain_cache_hits) /
+                                static_cast<double>(lookups);
+    }
   };
   Stats stats() const;
 

@@ -21,10 +21,13 @@ ServedModel::ServedModel(RandomForestClassifier forest_in, std::string path_in,
                          std::uint64_t digest_in)
     : forest(std::move(forest_in)),
       explainer(forest),
+      explain_cache(std::make_shared<ExplanationCache>()),
       path(std::move(path_in)),
       digest(digest_in),
       version(basename_of(path) + "#" + digest_hex(digest)),
-      n_features(forest.flat().n_features()) {}
+      n_features(forest.flat().n_features()) {
+  explainer.set_cache(explain_cache);
+}
 
 Status ModelRegistry::load(const std::string& path) {
   std::lock_guard<std::mutex> lock(mu_);

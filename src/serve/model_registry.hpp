@@ -20,6 +20,7 @@
 #include <string>
 #include <vector>
 
+#include "core/explanation_cache.hpp"
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
 #include "util/artifact.hpp"
@@ -28,13 +29,19 @@ namespace drcshap::serve {
 
 /// One immutable loaded model: forest + explainer snapshot + identity.
 /// Construction happens off the serving path (ModelRegistry::load); after
-/// publication the object is only ever read.
+/// publication the object is only ever read (the explanation cache mutates
+/// internally but is thread-safe by construction).
 struct ServedModel {
   ServedModel(RandomForestClassifier forest_in, std::string path_in,
               std::uint64_t digest_in);
 
   RandomForestClassifier forest;
   TreeShapExplainer explainer;
+  /// Explanation cache of this model version, attached to `explainer` (and
+  /// thereby to every per-batch explainer copy). Allocated fresh per load,
+  /// so a hot swap flushes cached SHAP rows structurally: stale entries
+  /// retire with the old ServedModel instead of being invalidated in place.
+  std::shared_ptr<ExplanationCache> explain_cache;
   std::string path;          ///< artifact the model was loaded from
   std::uint64_t digest;      ///< FNV-1a of the artifact payload
   std::string version;       ///< "<basename>#<digest16hex>"

@@ -108,6 +108,7 @@ std::string_view verb_name(Verb verb) {
     case Verb::kReload: return "reload";
     case Verb::kStats: return "stats";
     case Verb::kShutdown: return "shutdown";
+    case Verb::kGlobalExplain: return "global-explain";
   }
   return "unknown";
 }
@@ -129,6 +130,7 @@ std::string encode_request(const Request& request) {
   switch (request.verb) {
     case Verb::kScore:
     case Verb::kExplain:
+    case Verb::kGlobalExplain:
       put_u32(out, request.n_rows);
       put_u32(out, request.n_features);
       put_span(out, request.features);
@@ -163,6 +165,12 @@ std::string encode_response(const Response& response) {
       put_f64(out, response.base_value);
       put_span(out, response.values);
       break;
+    case Verb::kGlobalExplain:
+      put_u32(out, response.n_rows);
+      put_u32(out, response.n_features);
+      put_f64(out, response.base_value);
+      put_span(out, response.values);
+      break;
     case Verb::kReload:
     case Verb::kStats:
       put_string(out, response.text);
@@ -180,13 +188,14 @@ StatusOr<Request> decode_request(std::string_view body) {
   if (!cursor.take_u64(&request.id) || !cursor.take_u8(&verb)) {
     return corrupt("request header truncated");
   }
-  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kGlobalExplain)) {
     return corrupt("unknown verb " + std::to_string(verb));
   }
   request.verb = static_cast<Verb>(verb);
   switch (request.verb) {
     case Verb::kScore:
-    case Verb::kExplain: {
+    case Verb::kExplain:
+    case Verb::kGlobalExplain: {
       if (!cursor.take_u32(&request.n_rows) ||
           !cursor.take_u32(&request.n_features)) {
         return corrupt("matrix header truncated");
@@ -226,7 +235,7 @@ StatusOr<Response> decode_response(std::string_view body) {
       !cursor.take_u8(&status)) {
     return corrupt("response header truncated");
   }
-  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kShutdown)) {
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kGlobalExplain)) {
     return corrupt("unknown verb " + std::to_string(verb));
   }
   if (status > static_cast<std::uint8_t>(StatusCode::kFault)) {
@@ -267,6 +276,23 @@ StatusOr<Response> decode_response(std::string_view body) {
           std::size_t{response.n_rows} * response.n_features;
       if (!cursor.take_values(&response.values, count)) {
         return corrupt("explain reply truncated");
+      }
+      break;
+    }
+    case Verb::kGlobalExplain: {
+      if (!cursor.take_u32(&response.n_rows) ||
+          !cursor.take_u32(&response.n_features) ||
+          !cursor.take_f64(&response.base_value)) {
+        return corrupt("global-explain reply header truncated");
+      }
+      if (response.n_features == 0 ||
+          response.n_features > kMaxFeaturesPerRow) {
+        return corrupt("global-explain reply feature count out of range");
+      }
+      const std::size_t count =
+          std::size_t{kGlobalStatRows} * response.n_features;
+      if (!cursor.take_values(&response.values, count)) {
+        return corrupt("global-explain reply truncated");
       }
       break;
     }

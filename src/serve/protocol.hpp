@@ -34,6 +34,11 @@ enum class Verb : std::uint8_t {
   kReload = 3,    ///< hot-swap the model (payload: path, empty = re-read)
   kStats = 4,     ///< JSON snapshot of queue/batch/latency/model state
   kShutdown = 5,  ///< drain in-flight work, then stop the daemon
+  /// Streaming global aggregation of a feature matrix: the reply carries
+  /// per-feature mean |SHAP|, signed mean, and positive fraction instead of
+  /// the full n_rows x n_features phi matrix — O(features) on the wire no
+  /// matter how many rows were aggregated.
+  kGlobalExplain = 6,
 };
 
 std::string_view verb_name(Verb verb);
@@ -47,7 +52,8 @@ inline constexpr std::uint32_t kMaxFeaturesPerRow = 1u << 20;
 struct Request {
   std::uint64_t id = 0;
   Verb verb = Verb::kScore;
-  // kScore / kExplain: row-major n_rows x n_features float matrix.
+  // kScore / kExplain / kGlobalExplain: row-major n_rows x n_features
+  // float matrix.
   std::uint32_t n_rows = 0;
   std::uint32_t n_features = 0;
   std::vector<float> features;
@@ -55,13 +61,19 @@ struct Request {
   std::string text;
 };
 
+/// Stat-row count of a kGlobalExplain reply: its `values` payload is
+/// kGlobalStatRows x n_features doubles — mean |SHAP|, signed mean, and
+/// positive fraction per feature, in that row order.
+inline constexpr std::uint32_t kGlobalStatRows = 3;
+
 struct Response {
   std::uint64_t id = 0;
   Verb verb = Verb::kScore;
   StatusCode status = StatusCode::kOk;
   std::string message;  ///< non-ok: one-line diagnosis
   // kScore: values = n_rows probabilities. kExplain: values = row-major
-  // n_rows x n_features SHAP matrix, base_value = E[f(x)].
+  // n_rows x n_features SHAP matrix, base_value = E[f(x)]. kGlobalExplain:
+  // n_rows = rows aggregated, values = kGlobalStatRows x n_features stats.
   std::uint32_t n_rows = 0;
   std::uint32_t n_features = 0;
   double base_value = 0.0;

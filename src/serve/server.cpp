@@ -222,10 +222,12 @@ Response Server::dispatch(Request request) {
   const Verb verb = request.verb;
   switch (verb) {
     case Verb::kScore:
-    case Verb::kExplain: {
+    case Verb::kExplain:
+    case Verb::kGlobalExplain: {
       const Clock::time_point start = Clock::now();
       Response response = batcher_->submit(std::move(request));
       const double latency = ms_since(start);
+      // global-explain shares the explain window: same engine, same cost.
       (verb == Verb::kScore ? score_latency_ : explain_latency_)
           .record(latency);
       obs::timer_record(verb == Verb::kScore ? "serve/request_score"
@@ -318,7 +320,23 @@ std::string Server::stats_json() const {
   requests["rejected"] = stats.rejected;
   requests["score_rows"] = stats.score_rows;
   requests["explain_rows"] = stats.explain_rows;
+  requests["global_explain_rows"] = stats.global_explain_rows;
   doc["requests"] = std::move(requests);
+
+  // Explanation-cache traffic: lifetime counters across model versions from
+  // the batcher, plus the occupancy of the *current* model's cache (a hot
+  // swap starts a fresh cache, so entries reset while traffic does not).
+  obs::JsonValue cache = obs::JsonValue::make_object();
+  cache["enabled"] = ExplanationCache::enabled_by_env();
+  cache["hits"] = stats.explain_cache_hits;
+  cache["misses"] = stats.explain_cache_misses;
+  cache["hit_rate"] = stats.explain_cache_hit_rate();
+  if (model != nullptr) {
+    const ExplanationCacheStats model_cache = model->explain_cache->stats();
+    cache["entries"] = static_cast<std::uint64_t>(model_cache.entries);
+    cache["capacity"] = static_cast<std::uint64_t>(model_cache.capacity);
+  }
+  doc["explain_cache"] = std::move(cache);
 
   obs::JsonValue batch = obs::JsonValue::make_object();
   batch["batches"] = stats.batches;
@@ -359,6 +377,8 @@ void Server::publish_obs_gauges() const {
                    static_cast<double>(stats.queue_depth));
     obs::gauge_set("serve/max_queue_depth",
                    static_cast<double>(stats.max_queue_depth));
+    obs::gauge_set("serve/explain_cache_hit_rate",
+                   stats.explain_cache_hit_rate());
   }
 }
 

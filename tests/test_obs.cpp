@@ -1,11 +1,14 @@
 #include <gtest/gtest.h>
 
 #include <cstdio>
+#include <cstdlib>
 #include <filesystem>
+#include <memory>
 #include <thread>
 
 #include "benchsuite/pipeline.hpp"
 #include "benchsuite/suite.hpp"
+#include "core/explanation_cache.hpp"
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
 #include "obs/json.hpp"
@@ -341,7 +344,60 @@ TEST_F(Obs, InstrumentedStagesAppearInSnapshot) {
   EXPECT_TRUE(snap.timers.contains("shap/values_batch"));
   EXPECT_EQ(snap.counters.at("forest/rows_scored"), 64u);
   EXPECT_EQ(snap.counters.at("shap/batch_samples"), 64u);
-  EXPECT_EQ(snap.counters.at("shap/tree_traversals"), 64u * 5u);
+  // The batch engine dedupes rows whose explanation keys coincide (under
+  // the compiled engine, rows that quantize identically), so traversals
+  // count unique rows — never more than rows * trees.
+  ASSERT_TRUE(snap.counters.contains("shap/batch_unique_rows"));
+  const std::uint64_t unique_rows =
+      snap.counters.at("shap/batch_unique_rows");
+  EXPECT_GE(unique_rows, 1u);
+  EXPECT_LE(unique_rows, 64u);
+  EXPECT_EQ(snap.counters.at("shap/tree_traversals"), unique_rows * 5u);
+}
+
+TEST_F(Obs, ShapWalkNoteAndCacheCountersSurface) {
+  // The fast-path instrumentation: which walk ran (reference / scalar /
+  // avx2) is a note, and an attached explanation cache reports its
+  // hit/miss traffic as counters.
+  if (!obs::kEnabled) GTEST_SKIP() << "observability compiled out";
+  // Pin the cache on: the CI kill-switch leg exports DRCSHAP_EXPLAIN_CACHE=0.
+  const char* saved_cache = std::getenv("DRCSHAP_EXPLAIN_CACHE");
+  const std::string saved_cache_value =
+      saved_cache != nullptr ? saved_cache : "";
+  ::setenv("DRCSHAP_EXPLAIN_CACHE", "1", 1);
+  Dataset data(4);
+  std::vector<float> row(4);
+  Rng rng(5);
+  for (int i = 0; i < 32; ++i) {
+    for (auto& v : row) v = static_cast<float>(rng.uniform());
+    data.append_row(row, row[0] > 0.5f ? 1 : 0, 0);
+  }
+  RandomForestOptions fopts;
+  fopts.n_trees = 4;
+  fopts.n_threads = 1;
+  RandomForestClassifier forest(fopts);
+  forest.fit(data);
+
+  TreeShapExplainer explainer(forest);
+  explainer.set_cache(std::make_shared<ExplanationCache>());
+  (void)explainer.shap_values_batch(data, 1);  // cold: all misses
+  (void)explainer.shap_values_batch(data, 1);  // warm: all hits
+
+  const obs::Snapshot snap = obs::snapshot();
+  ASSERT_TRUE(snap.notes.contains("shap/walk"));
+  const std::string& walk = snap.notes.at("shap/walk");
+  EXPECT_TRUE(walk == "reference" || walk == "scalar" || walk == "avx2")
+      << walk;
+  EXPECT_TRUE(snap.notes.contains("shap/fast_path"));
+  ASSERT_TRUE(snap.counters.contains("shap/cache_misses"));
+  ASSERT_TRUE(snap.counters.contains("shap/cache_hits"));
+  EXPECT_GT(snap.counters.at("shap/cache_misses"), 0u);
+  EXPECT_GT(snap.counters.at("shap/cache_hits"), 0u);
+  if (saved_cache != nullptr) {
+    ::setenv("DRCSHAP_EXPLAIN_CACHE", saved_cache_value.c_str(), 1);
+  } else {
+    ::unsetenv("DRCSHAP_EXPLAIN_CACHE");
+  }
 }
 
 TEST_F(Obs, SubstrateCountersAppearInRunReport) {

@@ -19,6 +19,7 @@
 #include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <cstring>
 #include <filesystem>
 #include <memory>
@@ -26,6 +27,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/explanation.hpp"
 #include "core/model_io.hpp"
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
@@ -66,6 +68,29 @@ std::vector<float> random_rows(std::uint64_t seed, std::size_t n_rows,
   for (float& value : features) value = static_cast<float>(rng.uniform());
   return features;
 }
+
+/// Pins DRCSHAP_EXPLAIN_CACHE for one scope: the cache-behaviour tests
+/// must pass even in the CI leg that exports the kill switch ("0").
+class ScopedCacheEnv {
+ public:
+  explicit ScopedCacheEnv(const char* value) {
+    const char* old = std::getenv("DRCSHAP_EXPLAIN_CACHE");
+    had_ = old != nullptr;
+    if (had_) saved_ = old;
+    ::setenv("DRCSHAP_EXPLAIN_CACHE", value, 1);
+  }
+  ~ScopedCacheEnv() {
+    if (had_) {
+      ::setenv("DRCSHAP_EXPLAIN_CACHE", saved_.c_str(), 1);
+    } else {
+      ::unsetenv("DRCSHAP_EXPLAIN_CACHE");
+    }
+  }
+
+ private:
+  std::string saved_;
+  bool had_ = false;
+};
 
 Request matrix_request(std::uint64_t id, Verb verb, std::uint32_t n_rows,
                        std::uint32_t n_features, std::vector<float> features) {
@@ -129,6 +154,32 @@ TEST(ServeProtocol, ResponseRoundTrip) {
   ASSERT_TRUE(decoded_error.ok());
   EXPECT_EQ(decoded_error.value().status, StatusCode::kNotFound);
   EXPECT_EQ(decoded_error.value().message, "no model");
+}
+
+TEST(ServeProtocol, GlobalExplainRoundTrip) {
+  // Request side: same matrix payload as score/explain.
+  const Request request = matrix_request(55, Verb::kGlobalExplain, 2, 3,
+                                         {1.f, 2.f, 3.f, 4.f, 5.f, 6.f});
+  const auto decoded_request = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded_request.ok()) << decoded_request.status().to_string();
+  EXPECT_EQ(decoded_request.value().verb, Verb::kGlobalExplain);
+  EXPECT_EQ(decoded_request.value().features, request.features);
+
+  // Reply side: kGlobalStatRows stat rows of n_features doubles
+  // (mean |phi|, signed mean, positive fraction), n_rows = rows aggregated.
+  Response response;
+  response.id = 55;
+  response.verb = Verb::kGlobalExplain;
+  response.n_rows = 2;
+  response.n_features = 3;
+  response.base_value = 0.125;
+  response.values = {0.5, 0.25, 0.125, -0.5, 0.25, 0.0, 0.0, 1.0, 0.5};
+  ASSERT_EQ(response.values.size(), kGlobalStatRows * response.n_features);
+  const auto decoded = decode_response(encode_response(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().n_rows, 2u);
+  EXPECT_EQ(decoded.value().base_value, 0.125);
+  EXPECT_EQ(decoded.value().values, response.values);
 }
 
 TEST(ServeProtocol, RejectsCorruption) {
@@ -284,6 +335,83 @@ TEST_F(BatcherFixture, ExplainMatchesDirectEngineExactly) {
   for (std::size_t i = 0; i < direct.values.size(); ++i) {
     EXPECT_EQ(response.values[i], direct.values[i]) << "phi " << i;
   }
+}
+
+TEST_F(BatcherFixture, GlobalExplainMatchesDirectSummary) {
+  BatchOptions options;
+  options.engine = ForestEngine::kExact;
+  Batcher batcher(registry, options);
+
+  constexpr std::uint32_t kRows = 6;
+  const std::vector<float> features = random_rows(36, kRows, 6);
+  const Response response = batcher.submit(
+      matrix_request(5, Verb::kGlobalExplain, kRows, 6, features));
+  ASSERT_EQ(response.status, StatusCode::kOk) << response.message;
+  EXPECT_EQ(response.n_rows, kRows);
+  EXPECT_EQ(response.n_features, 6u);
+  ASSERT_EQ(response.values.size(), kGlobalStatRows * 6u);
+
+  TreeShapExplainer explainer = registry.current()->explainer;
+  explainer.set_engine(ForestEngine::kExact);
+  GlobalShapSummary direct(6);
+  direct.add(explainer.shap_values_batch(std::span<const float>(features),
+                                         kRows, 1));
+  EXPECT_EQ(response.base_value, explainer.base_value());
+  for (std::size_t f = 0; f < 6; ++f) {
+    EXPECT_EQ(response.values[f], direct.mean_abs(f)) << "mean_abs " << f;
+    EXPECT_EQ(response.values[6 + f], direct.mean_signed(f)) << "signed " << f;
+    EXPECT_EQ(response.values[12 + f], direct.positive_fraction(f))
+        << "pos_frac " << f;
+  }
+  EXPECT_EQ(batcher.stats().global_explain_rows, kRows);
+}
+
+TEST_F(BatcherFixture, ExplainCacheCountersAccumulateInStats) {
+  ScopedCacheEnv cache_on("1");
+  BatchOptions options;
+  options.engine = ForestEngine::kExact;
+  Batcher batcher(registry, options);
+
+  const std::vector<float> features = random_rows(37, 4, 6);
+  const Request request = matrix_request(6, Verb::kExplain, 4, 6, features);
+  ASSERT_EQ(batcher.submit(request).status, StatusCode::kOk);
+  const Batcher::Stats cold = batcher.stats();
+  EXPECT_EQ(cold.explain_cache_hits, 0u);
+  EXPECT_EQ(cold.explain_cache_misses, 4u);
+
+  // Same rows again: every row hits the served model's cache.
+  ASSERT_EQ(batcher.submit(request).status, StatusCode::kOk);
+  const Batcher::Stats warm = batcher.stats();
+  EXPECT_EQ(warm.explain_cache_hits, 4u);
+  EXPECT_EQ(warm.explain_cache_misses, 4u);
+  EXPECT_DOUBLE_EQ(warm.explain_cache_hit_rate(), 0.5);
+}
+
+TEST_F(BatcherFixture, HotSwapGetsFreshExplanationCache) {
+  ScopedCacheEnv cache_on("1");
+  BatchOptions options;
+  options.engine = ForestEngine::kExact;
+  Batcher batcher(registry, options);
+
+  const std::vector<float> features = random_rows(38, 3, 6);
+  const Request request = matrix_request(7, Verb::kExplain, 3, 6, features);
+  ASSERT_EQ(batcher.submit(request).status, StatusCode::kOk);
+  const auto cache_before = registry.current()->explain_cache;
+  ASSERT_NE(cache_before, nullptr);
+  EXPECT_EQ(cache_before->stats().misses, 3u);
+
+  // Reload: the new ServedModel owns a brand-new, empty cache — stale phi
+  // rows retire with the old model instead of poisoning the new one.
+  ASSERT_TRUE(registry.reload().ok());
+  const auto cache_after = registry.current()->explain_cache;
+  ASSERT_NE(cache_after, nullptr);
+  EXPECT_NE(cache_after.get(), cache_before.get());
+  EXPECT_EQ(cache_after->stats().entries, 0u);
+
+  // Batcher-level counters are lifetime totals and survive the swap.
+  ASSERT_EQ(batcher.submit(request).status, StatusCode::kOk);
+  const Batcher::Stats stats = batcher.stats();
+  EXPECT_EQ(stats.explain_cache_misses, 6u);
 }
 
 TEST_F(BatcherFixture, ConcurrentSubmitsAreByteIdenticalToSolo) {
@@ -542,6 +670,53 @@ TEST_F(ServerFixture, StatsReloadAndShutdownVerbs) {
   EXPECT_EQ(client.call(shutdown_request).status, StatusCode::kOk);
   EXPECT_EQ(read_frame(client.fd).status().code(), StatusCode::kNotFound);
   runner.join();  // run() returns once teardown finishes
+}
+
+TEST_F(ServerFixture, GlobalExplainAndCacheStatsOverSocket) {
+  ScopedCacheEnv cache_on("1");
+  ServeClient client(socket_path);
+  const std::vector<float> features = random_rows(55, 5, 6);
+
+  // Two identical explain calls: the second is served from the model's
+  // explanation cache, and the reply must not change a bit.
+  const Response cold =
+      client.call(matrix_request(1, Verb::kExplain, 5, 6, features));
+  ASSERT_EQ(cold.status, StatusCode::kOk) << cold.message;
+  const Response warm =
+      client.call(matrix_request(2, Verb::kExplain, 5, 6, features));
+  ASSERT_EQ(warm.status, StatusCode::kOk);
+  EXPECT_EQ(warm.values, cold.values);
+
+  // Global summary over the same rows equals folding the explain reply.
+  const Response global =
+      client.call(matrix_request(3, Verb::kGlobalExplain, 5, 6, features));
+  ASSERT_EQ(global.status, StatusCode::kOk) << global.message;
+  ASSERT_EQ(global.values.size(), kGlobalStatRows * 6u);
+  GlobalShapSummary expected(6);
+  for (std::size_t r = 0; r < 5; ++r) {
+    expected.add(std::span<const double>(cold.values.data() + r * 6, 6));
+  }
+  for (std::size_t f = 0; f < 6; ++f) {
+    EXPECT_EQ(global.values[f], expected.mean_abs(f));
+    EXPECT_EQ(global.values[6 + f], expected.mean_signed(f));
+    EXPECT_EQ(global.values[12 + f], expected.positive_fraction(f));
+  }
+
+  // The stats verb surfaces the cache counters.
+  Request stats_request;
+  stats_request.id = 4;
+  stats_request.verb = Verb::kStats;
+  const Response stats = client.call(stats_request);
+  ASSERT_EQ(stats.status, StatusCode::kOk);
+  const auto doc = obs::JsonValue::parse(stats.text);
+  const auto& cache = doc.at("explain_cache");
+  EXPECT_TRUE(cache.at("enabled").as_bool());
+  EXPECT_GE(cache.at("hits").as_number(), 5.0);
+  EXPECT_GE(cache.at("misses").as_number(), 5.0);
+  EXPECT_GT(cache.at("hit_rate").as_number(), 0.0);
+  EXPECT_GE(cache.at("entries").as_number(), 5.0);
+  EXPECT_GT(cache.at("capacity").as_number(), 0.0);
+  EXPECT_EQ(doc.at("requests").at("global_explain_rows").as_number(), 5.0);
 }
 
 TEST_F(ServerFixture, SighupTriggersInPlaceReload) {

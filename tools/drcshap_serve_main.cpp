@@ -46,7 +46,7 @@ int usage(const char* argv0) {
       stderr,
       "usage: %s --model PATH (--socket PATH | --stdio)\n"
       "          [--max-batch ROWS] [--flush-us US] [--threads N]\n"
-      "          [--engine auto|exact|compiled]\n"
+      "          [--engine auto|exact|compiled] [--explain-cache on|off]\n"
       "       %s --make-fixture PATH [--features N] [--rows N] [--trees N]\n"
       "          [--seed S]\n",
       argv0, argv0);
@@ -127,6 +127,18 @@ int main(int argc, char** argv) {
         options.batch.engine = drcshap::ForestEngine::kExact;
       } else if (name == "compiled") {
         options.batch.engine = drcshap::ForestEngine::kCompiled;
+      } else {
+        return usage(argv[0]);
+      }
+    } else if (arg == "--explain-cache") {
+      // Flag form of $DRCSHAP_EXPLAIN_CACHE: the explainer re-reads the
+      // variable per call, so exporting it here is the single source of
+      // truth for every batch this daemon serves.
+      const std::string name = next_arg(i);
+      if (name == "on") {
+        ::setenv("DRCSHAP_EXPLAIN_CACHE", "1", 1);
+      } else if (name == "off") {
+        ::setenv("DRCSHAP_EXPLAIN_CACHE", "0", 1);
       } else {
         return usage(argv[0]);
       }
