@@ -122,10 +122,6 @@ double drc_difficulty(const Design& design, const TrackModel& track,
   return cause_scores(design, track, agg, cell, options).total();
 }
 
-namespace {
-
-/// Scores one cell and emits its violations into `out` (drawing only from
-/// `cell_rng`); shared between the serial and parallel oracle drivers.
 void emit_cell_violations(const Design& design, const TrackModel& track,
                           const std::vector<GCellAggregate>& agg,
                           std::size_t cell, const DrcOracleOptions& options,
@@ -188,7 +184,26 @@ void emit_cell_violations(const Design& design, const TrackModel& track,
   }
 }
 
-}  // namespace
+std::vector<Rng> drc_cell_streams(const Design& design,
+                                  const DrcOracleOptions& options,
+                                  double* design_effect) {
+  Rng rng(options.seed ^ name_hash(design.name()));
+  const double effect = rng.normal(0.0, options.design_effect_sigma);
+  if (design_effect != nullptr) *design_effect = effect;
+
+  // One fork per cell keeps the stream independent of how many draws each
+  // cell makes (stable labels under parameter tweaks elsewhere). The forks
+  // are drawn serially in cell order — the only order-dependent draws — so
+  // parallel (or incremental, subset-only) scoring consumes exactly the
+  // serial streams.
+  const std::size_t n = design.grid().size();
+  std::vector<Rng> cell_rngs;
+  cell_rngs.reserve(n);
+  for (std::size_t cell = 0; cell < n; ++cell) {
+    cell_rngs.push_back(rng.fork());
+  }
+  return cell_rngs;
+}
 
 DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
                          const DrcOracleOptions& options) {
@@ -200,48 +215,61 @@ DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
                          const std::vector<GCellAggregate>& aggregates,
                          const DrcOracleOptions& options,
                          std::size_t n_threads) {
+  return run_drc_oracle_state(design, congestion, aggregates, options,
+                              n_threads)
+      .flatten();
+}
+
+DrcOracleState run_drc_oracle_state(
+    const Design& design, const CongestionMap& congestion,
+    const std::vector<GCellAggregate>& aggregates,
+    const DrcOracleOptions& options, std::size_t n_threads) {
   DRCSHAP_OBS_TIMER("drc/oracle");
   const GCellGrid& grid = design.grid();
   const TrackModel track(design, congestion);
 
-  Rng rng(options.seed ^ name_hash(design.name()));
-  const double design_effect = rng.normal(0.0, options.design_effect_sigma);
-
-  // One fork per cell keeps the stream independent of how many draws each
-  // cell makes (stable labels under parameter tweaks elsewhere). The forks
-  // are drawn serially in cell order — the only order-dependent draws — so
-  // the parallel scoring below consumes exactly the serial streams.
-  std::vector<Rng> cell_rngs;
-  cell_rngs.reserve(grid.size());
-  for (std::size_t cell = 0; cell < grid.size(); ++cell) {
-    cell_rngs.push_back(rng.fork());
-  }
+  double design_effect = 0.0;
+  std::vector<Rng> cell_rngs =
+      drc_cell_streams(design, options, &design_effect);
 
   obs::counter_add("drc/cells_scored", grid.size());
-  std::vector<std::vector<DrcViolation>> per_cell(grid.size());
+  DrcOracleState state;
+  state.per_cell.resize(grid.size());
   parallel_for_shared(
       grid.size(),
       [&](std::size_t cell) {
         emit_cell_violations(design, track, aggregates, cell, options,
-                             design_effect, cell_rngs[cell], per_cell[cell]);
+                             design_effect, cell_rngs[cell],
+                             state.per_cell[cell]);
       },
       n_threads);
 
-  DrcReport report;
-  report.hotspot.assign(grid.size(), 0);
+  state.coverage.assign(grid.size(), 0);
+  for (const std::vector<DrcViolation>& bucket : state.per_cell) {
+    for (const DrcViolation& v : bucket) {
+      for (const std::size_t cell : grid.cells_overlapping(v.box)) {
+        ++state.coverage[cell];
+      }
+    }
+  }
+  state.hotspot.assign(grid.size(), 0);
+  state.n_hotspots = 0;
   for (std::size_t cell = 0; cell < grid.size(); ++cell) {
-    for (DrcViolation& v : per_cell[cell]) {
-      report.violations.push_back(v);
+    if (state.coverage[cell] > 0) {
+      state.hotspot[cell] = 1;
+      ++state.n_hotspots;
     }
   }
+  return state;
+}
 
-  for (const DrcViolation& v : report.violations) {
-    for (const std::size_t cell : grid.cells_overlapping(v.box)) {
-      report.hotspot[cell] = 1;
-    }
+DrcReport DrcOracleState::flatten() const {
+  DrcReport report;
+  for (const std::vector<DrcViolation>& bucket : per_cell) {
+    for (const DrcViolation& v : bucket) report.violations.push_back(v);
   }
-  report.n_hotspots = static_cast<std::size_t>(
-      std::count(report.hotspot.begin(), report.hotspot.end(), 1));
+  report.hotspot = hotspot;
+  report.n_hotspots = n_hotspots;
   return report;
 }
 

@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "drc/track_model.hpp"
+#include "util/rng.hpp"
 
 namespace drcshap {
 
@@ -100,5 +101,47 @@ DrcReport run_drc_oracle(const Design& design, const CongestionMap& congestion,
 double drc_difficulty(const Design& design, const TrackModel& track,
                       const std::vector<GCellAggregate>& agg, std::size_t cell,
                       const DrcOracleOptions& options);
+
+/// Resident per-cell form of a DrcReport, kept by the incremental ECO
+/// engine: violations stay bucketed by the cell that emitted them so a
+/// single cell can be re-scored in place, and `coverage` counts how many
+/// violation boxes overlap each g-cell (a box can straddle into a
+/// neighbor), so removing one cell's old boxes and adding its new ones
+/// keeps the hotspot flags exact without a global rescan.
+struct DrcOracleState {
+  std::vector<std::vector<DrcViolation>> per_cell;
+  std::vector<std::uint32_t> coverage;
+  std::vector<std::uint8_t> hotspot;  ///< 1 iff coverage > 0
+  std::size_t n_hotspots = 0;
+
+  /// The report shape run_drc_oracle returns: violations flattened in cell
+  /// order, byte-identical to the non-resident oracle.
+  DrcReport flatten() const;
+};
+
+/// The oracle in resident form; run_drc_oracle (aggregates overload) is
+/// exactly run_drc_oracle_state(...).flatten().
+DrcOracleState run_drc_oracle_state(
+    const Design& design, const CongestionMap& congestion,
+    const std::vector<GCellAggregate>& aggregates,
+    const DrcOracleOptions& options = {}, std::size_t n_threads = 0);
+
+/// Derives the oracle's per-design effect and per-cell rng streams exactly
+/// as run_drc_oracle does (effect drawn first, then one serial fork per
+/// cell in cell order). Re-deriving the streams is O(cells), which is what
+/// lets the ECO engine re-score an arbitrary subset of cells with the exact
+/// draws a full run would give them.
+std::vector<Rng> drc_cell_streams(const Design& design,
+                                  const DrcOracleOptions& options,
+                                  double* design_effect);
+
+/// Scores one cell and appends its violations to `out`, drawing only from
+/// `cell_rng` (the cell's stream from drc_cell_streams). Shared by the
+/// serial, parallel, and incremental oracle drivers.
+void emit_cell_violations(const Design& design, const TrackModel& track,
+                          const std::vector<GCellAggregate>& agg,
+                          std::size_t cell, const DrcOracleOptions& options,
+                          double design_effect, Rng& cell_rng,
+                          std::vector<DrcViolation>& out);
 
 }  // namespace drcshap

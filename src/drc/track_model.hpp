@@ -27,6 +27,11 @@ struct GCellAggregate {
   double blockage_frac = 0.0;  ///< fraction of area under routing blockages
   double cell_area_frac = 0.0; ///< fraction of area under std cells
   bool macro_adjacent = false; ///< g-cell touches (or overlaps) a macro
+
+  /// Exact comparison — the ECO engine diffs recomputed aggregates against
+  /// the resident ones to find cells whose placement-derived inputs moved.
+  friend bool operator==(const GCellAggregate&, const GCellAggregate&) =
+      default;
 };
 
 /// One aggregate per g-cell (row-major grid order).

@@ -18,7 +18,8 @@ Design::Design(std::string name, Rect die, std::size_t gcells_x,
       die_(die),
       tech_(std::move(tech)),
       grid_(die, gcells_x, gcells_y) {
-  if (static_cast<int>(tech_.tracks_per_gcell.size()) != tech_.num_metal_layers) {
+  if (static_cast<int>(tech_.tracks_per_gcell.size()) !=
+      tech_.num_metal_layers) {
     throw std::invalid_argument("Design: tracks_per_gcell size mismatch");
   }
   if (static_cast<int>(tech_.vias_per_gcell.size()) != tech_.num_via_layers()) {
@@ -55,6 +56,37 @@ PinId Design::add_pin(Pin pin) {
 
 void Design::add_blockage(Blockage blockage) {
   blockages_.push_back(blockage);
+}
+
+void Design::set_macro_box(MacroId id, const Rect& box) {
+  if (id >= macros_.size()) {
+    throw std::invalid_argument("Design::set_macro_box: unknown macro id");
+  }
+  if (box.empty() || !die_.contains(box)) {
+    throw std::invalid_argument(
+        "Design::set_macro_box: box empty or outside the die");
+  }
+  Macro& m = macros_[id];
+  // The placer registers one routing blockage per macro with exactly the
+  // macro's box and blocked-layer span; coordinates were copied verbatim,
+  // so exact comparison is the right match. Any blockage that matches moves
+  // along (macros never legitimately share an identical footprint).
+  for (Blockage& b : blockages_) {
+    if (b.box == m.box && b.metal_lo == 0 &&
+        b.metal_hi == m.blocked_metal_layers - 1) {
+      b.box = box;
+    }
+  }
+  m.box = box;
+}
+
+void Design::move_macro(MacroId id, double dx, double dy) {
+  if (id >= macros_.size()) {
+    throw std::invalid_argument("Design::move_macro: unknown macro id");
+  }
+  const Rect& old = macros_[id].box;
+  set_macro_box(
+      id, Rect{old.x_lo + dx, old.y_lo + dy, old.x_hi + dx, old.y_hi + dy});
 }
 
 bool Design::is_local_net(NetId id) const {

@@ -102,6 +102,18 @@ class Design {
   PinId add_pin(Pin pin);
   void add_blockage(Blockage blockage);
 
+  // --- ECO edits --------------------------------------------------------
+  /// Replaces a macro's footprint (a move and/or resize), updating every
+  /// routing blockage that matches the macro's old box over its blocked
+  /// layer span (the blockage the placer registered alongside the macro).
+  /// The new box must be non-empty and lie inside the die; placement
+  /// legality against standard cells is NOT re-checked — the capacity
+  /// model only derates, matching the synthetic role of the flow. Throws
+  /// std::invalid_argument on a bad id or box.
+  void set_macro_box(MacroId id, const Rect& box);
+  /// set_macro_box with the footprint translated by (dx, dy).
+  void move_macro(MacroId id, double dx, double dy);
+
   // --- access ---------------------------------------------------------
   const std::vector<Cell>& cells() const { return cells_; }
   const std::vector<Macro>& macros() const { return macros_; }

@@ -64,6 +64,7 @@ bool CongestionMap::has_edge(int metal, std::size_t cell_a,
   if (metal < 0 || metal >= num_metal_) return false;
   const std::size_t lo = std::min(cell_a, cell_b);
   const std::size_t hi = std::max(cell_a, cell_b);
+  if (hi >= nx_ * ny_) return false;
   const bool horizontal_step = (hi == lo + 1) && (lo % nx_ != nx_ - 1);
   const bool vertical_step = hi == lo + nx_;
   if (!horizontal_step && !vertical_step) return false;

@@ -10,6 +10,7 @@
 #include "netlist/design.hpp"
 #include "route/congestion.hpp"
 #include "route/net_route.hpp"
+#include "route/route_trace.hpp"
 
 namespace drcshap {
 
@@ -33,11 +34,29 @@ struct GlobalRouteResult {
   int iterations_run = 0;
   std::size_t segments_total = 0;
   std::size_t segments_rerouted = 0;
+  // Replay accounting (zero on a plain full run): how many expensive calls
+  // were answered from the base trace vs recomputed, and how many cells the
+  // conservative divergence set ended up covering.
+  std::size_t pattern_reused = 0;
+  std::size_t maze_reused = 0;
+  std::size_t maze_recomputed = 0;
+  std::size_t replay_dirty_cells = 0;
 };
 
 /// Routes all signal/clock nets of the placed design.
 GlobalRouteResult global_route(const Design& design,
                                const GlobalRouterOptions& options = {});
+
+/// The same algorithm with trace recording and memoized replay (see
+/// route_trace.hpp). `trace_out`, if non-null, receives the run's recorded
+/// trajectory (the base for a future replay; must be empty on entry).
+/// `replay`, if non-null with a base trace, substitutes recorded
+/// pattern/maze results whose read sets are provably unchanged; the result
+/// is byte-identical to global_route(design, options) regardless.
+GlobalRouteResult global_route_traced(const Design& design,
+                                      const GlobalRouterOptions& options,
+                                      RouteTrace* trace_out,
+                                      const RouteReplayInput* replay);
 
 /// Decomposes a net's pin g-cells into MST 2-pin segments (pairs of distinct
 /// g-cell indices). Exposed for tests.

@@ -82,6 +82,12 @@ class GridGraph {
   }
 
   void add_edge_load(EdgeId e, int delta);
+  /// Removes previously added demand: the rip-up direction of
+  /// add_edge_load, spelled out so call sites read as what they are.
+  /// `amount` is how much load to take away (must not exceed the current
+  /// load; the shared underflow check throws otherwise). The O(1) overflow
+  /// totals stay exact across any add/remove interleaving.
+  void remove_edge_load(EdgeId e, int amount) { add_edge_load(e, -amount); }
   void add_edge_history(EdgeId e, double delta) { edges_[e].history += delta; }
 
   /// Metal layer an edge belongs to.
@@ -104,6 +110,10 @@ class GridGraph {
     return std::max(0, s.load - s.capacity);
   }
   void add_via_load(int via_layer, std::size_t cell, int delta);
+  /// Via counterpart of remove_edge_load.
+  void remove_via_load(int via_layer, std::size_t cell, int amount) {
+    add_via_load(via_layer, cell, -amount);
+  }
 
   // --- aggregates ---------------------------------------------------------
   /// Total wire overflow over all metal edges. O(1): maintained

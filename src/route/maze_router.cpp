@@ -88,6 +88,10 @@ MazeRouter::OpenKey MazeRouter::heap_pop() {
 MazeResult MazeRouter::route(std::size_t cell_a, std::size_t cell_b,
                              const RouteCostParams& params) {
   MazeResult result;
+  result.col_lo = col_of_[cell_a];
+  result.col_hi = col_of_[cell_a];
+  result.row_lo = row_of_[cell_a];
+  result.row_hi = row_of_[cell_a];
   if (cell_a == cell_b) {
     result.found = true;
     return result;
@@ -145,6 +149,13 @@ MazeResult MazeRouter::route(std::size_t cell_a, std::size_t cell_b,
       continue;  // stale queue entry
     }
     ++expansions;
+    {
+      const std::uint32_t pc = col_of_[cell], pr = row_of_[cell];
+      result.col_lo = std::min(result.col_lo, pc);
+      result.col_hi = std::max(result.col_hi, pc);
+      result.row_lo = std::min(result.row_lo, pr);
+      result.row_hi = std::max(result.row_hi, pr);
+    }
     if (node == goal) break;
     const int metal = metal_of_[node];
     const std::size_t c = col_of_[cell], r = row_of_[cell];

@@ -26,6 +26,15 @@ struct MazeResult {
   RoutePath path;
   double cost = 0.0;
   bool found = false;
+  /// Inclusive column/row bounding box of every g-cell the search expanded
+  /// (popped non-stale). The cost model only ever reads edges and vias
+  /// incident to expanded cells, so the search outcome is a pure function
+  /// of the graph state restricted to this box — the locality fact the ECO
+  /// replay's reuse check is built on.
+  std::uint32_t col_lo = 0;
+  std::uint32_t col_hi = 0;
+  std::uint32_t row_lo = 0;
+  std::uint32_t row_hi = 0;
 };
 
 class MazeRouter {

@@ -16,6 +16,8 @@ struct RoutePath {
   std::vector<std::pair<int, std::size_t>> vias;
 
   bool empty() const { return edges.empty() && vias.empty(); }
+
+  bool operator==(const RoutePath&) const = default;
 };
 
 /// All 2-pin segment routes of one net.

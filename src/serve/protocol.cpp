@@ -109,6 +109,7 @@ std::string_view verb_name(Verb verb) {
     case Verb::kStats: return "stats";
     case Verb::kShutdown: return "shutdown";
     case Verb::kGlobalExplain: return "global-explain";
+    case Verb::kEco: return "eco";
   }
   return "unknown";
 }
@@ -136,6 +137,7 @@ std::string encode_request(const Request& request) {
       put_span(out, request.features);
       break;
     case Verb::kReload:
+    case Verb::kEco:
       put_string(out, request.text);
       break;
     case Verb::kStats:
@@ -173,6 +175,7 @@ std::string encode_response(const Response& response) {
       break;
     case Verb::kReload:
     case Verb::kStats:
+    case Verb::kEco:
       put_string(out, response.text);
       break;
     case Verb::kShutdown:
@@ -188,7 +191,7 @@ StatusOr<Request> decode_request(std::string_view body) {
   if (!cursor.take_u64(&request.id) || !cursor.take_u8(&verb)) {
     return corrupt("request header truncated");
   }
-  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kGlobalExplain)) {
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kEco)) {
     return corrupt("unknown verb " + std::to_string(verb));
   }
   request.verb = static_cast<Verb>(verb);
@@ -211,8 +214,9 @@ StatusOr<Request> decode_request(std::string_view body) {
       break;
     }
     case Verb::kReload:
+    case Verb::kEco:
       if (!cursor.take_string(&request.text)) {
-        return corrupt("reload path truncated");
+        return corrupt("text payload truncated");
       }
       break;
     case Verb::kStats:
@@ -235,7 +239,7 @@ StatusOr<Response> decode_response(std::string_view body) {
       !cursor.take_u8(&status)) {
     return corrupt("response header truncated");
   }
-  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kGlobalExplain)) {
+  if (verb < 1 || verb > static_cast<std::uint8_t>(Verb::kEco)) {
     return corrupt("unknown verb " + std::to_string(verb));
   }
   if (status > static_cast<std::uint8_t>(StatusCode::kFault)) {
@@ -298,6 +302,7 @@ StatusOr<Response> decode_response(std::string_view body) {
     }
     case Verb::kReload:
     case Verb::kStats:
+    case Verb::kEco:
       if (!cursor.take_string(&response.text)) {
         return corrupt("text reply truncated");
       }

@@ -39,6 +39,12 @@ enum class Verb : std::uint8_t {
   /// the full n_rows x n_features phi matrix — O(features) on the wire no
   /// matter how many rows were aggregated.
   kGlobalExplain = 6,
+  /// Incremental ECO round trip against the daemon's resident design state
+  /// (started with --eco-design). The request text carries one edit command
+  /// ("move M DX DY" | "resize M XLO YLO XHI YHI" | "reroute NET[,NET...]");
+  /// the reply text is a JSON document with the re-route/re-score stats and
+  /// the before/after hotspot diff, including per-cell top-k SHAP deltas.
+  kEco = 7,
 };
 
 std::string_view verb_name(Verb verb);
@@ -58,6 +64,7 @@ struct Request {
   std::uint32_t n_features = 0;
   std::vector<float> features;
   // kReload: model artifact path ("" = reload the current path).
+  // kEco: one edit command line.
   std::string text;
 };
 
@@ -79,6 +86,7 @@ struct Response {
   double base_value = 0.0;
   std::vector<double> values;
   // kReload: served model version. kStats: stats JSON document.
+  // kEco: JSON diff document.
   std::string text;
 };
 

@@ -10,8 +10,12 @@
 #include <chrono>
 #include <cmath>
 #include <cstring>
+#include <sstream>
+#include <stdexcept>
 #include <utility>
 
+#include "benchsuite/pipeline.hpp"
+#include "features/feature_names.hpp"
 #include "obs/json.hpp"
 #include "obs/registry.hpp"
 
@@ -25,6 +29,63 @@ double ms_since(Clock::time_point start) {
   return std::chrono::duration<double, std::milli>(Clock::now() - start)
       .count();
 }
+
+/// Parses one eco edit command line:
+///   move MACRO DX DY
+///   resize MACRO XLO YLO XHI YHI
+///   reroute NET[,NET...]
+StatusOr<EcoEdit> parse_eco_edit(const std::string& text) {
+  const auto invalid = [&](const std::string& why) -> Status {
+    return {StatusCode::kInvalid, "eco: " + why + " in edit '" + text + "'"};
+  };
+  std::istringstream in(text);
+  std::string op;
+  if (!(in >> op)) return invalid("empty edit");
+  EcoEdit edit;
+  if (op == "move") {
+    edit.kind = EcoEdit::Kind::kMoveMacro;
+    if (!(in >> edit.macro >> edit.dx >> edit.dy)) {
+      return invalid("expected 'move MACRO DX DY'");
+    }
+  } else if (op == "resize") {
+    edit.kind = EcoEdit::Kind::kResizeMacro;
+    if (!(in >> edit.macro >> edit.new_box.x_lo >> edit.new_box.y_lo >>
+          edit.new_box.x_hi >> edit.new_box.y_hi)) {
+      return invalid("expected 'resize MACRO XLO YLO XHI YHI'");
+    }
+  } else if (op == "reroute") {
+    edit.kind = EcoEdit::Kind::kRerouteNets;
+    std::string nets;
+    if (!(in >> nets)) return invalid("expected 'reroute NET[,NET...]'");
+    std::size_t begin = 0;
+    while (begin <= nets.size()) {
+      const std::size_t comma = nets.find(',', begin);
+      const std::size_t end = comma == std::string::npos ? nets.size() : comma;
+      if (end > begin) edit.nets.push_back(nets.substr(begin, end - begin));
+      if (comma == std::string::npos) break;
+      begin = comma + 1;
+    }
+    if (edit.nets.empty()) return invalid("no net names");
+  } else {
+    return invalid("unknown edit op '" + op + "'");
+  }
+  std::string trailing;
+  if (in >> trailing) return invalid("trailing token '" + trailing + "'");
+  return edit;
+}
+
+std::string_view change_name(HotspotDiffEntry::Change change) {
+  switch (change) {
+    case HotspotDiffEntry::Change::kAppeared: return "appeared";
+    case HotspotDiffEntry::Change::kVanished: return "vanished";
+    case HotspotDiffEntry::Change::kChanged: return "changed";
+  }
+  return "unknown";
+}
+
+/// Diff entries beyond this land only in the counts, keeping an eco reply
+/// bounded no matter how large the edit's blast radius is.
+constexpr std::size_t kMaxDiffEntriesOnWire = 256;
 
 }  // namespace
 
@@ -75,6 +136,35 @@ Status Server::start() {
   const Status loaded = registry_.load(options_.model_path);
   if (!loaded.ok()) return loaded;
   batcher_ = std::make_unique<Batcher>(registry_, options_.batch);
+
+  if (!options_.eco_design.empty()) {
+    try {
+      const std::shared_ptr<const ServedModel> model = registry_.current();
+      PipelineOptions pipeline;
+      pipeline.generator.scale = options_.eco_scale;
+      const BenchmarkSpec& spec = suite_spec(options_.eco_design);
+      const NetlistSpec netlist = generate_netlist(spec, pipeline.generator);
+      PlacerOptions placer = pipeline.placer;
+      placer.row_height = pipeline.generator.row_height;
+      placer.seed = spec.seed * 31 + 1;
+      EcoOptions eco_options;
+      eco_options.router = pipeline.router;
+      eco_options.drc = pipeline.drc;
+      eco_options.n_threads = options_.batch.n_threads;
+      // Aliasing shared_ptr: the engine pins the whole startup ServedModel,
+      // so a later hot swap cannot retire the forest under the eco verb.
+      std::shared_ptr<const RandomForestClassifier> forest(model,
+                                                           &model->forest);
+      TreeShapExplainer explainer(model->forest);
+      explainer.set_cache(model->explain_cache);
+      eco_ = std::make_unique<EcoEngine>(place_design(netlist, placer),
+                                         std::move(forest),
+                                         std::move(explainer), eco_options);
+    } catch (const std::exception& e) {
+      return {StatusCode::kInvalid,
+              std::string("server: --eco-design failed: ") + e.what()};
+    }
+  }
 
   if (options_.socket_path.empty()) return Status::ok_status();  // stdio mode
 
@@ -259,8 +349,99 @@ Response Server::dispatch(Request request) {
       response.verb = verb;
       return response;
     }
+    case Verb::kEco: {
+      const Clock::time_point start = Clock::now();
+      Response response = serve_eco(request);
+      const double latency = ms_since(start);
+      eco_latency_.record(latency);
+      obs::timer_record("serve/request_eco",
+                        static_cast<std::uint64_t>(latency * 1e6));
+      return response;
+    }
   }
   return error_response(id, verb, StatusCode::kInvalid, "unknown verb");
+}
+
+Response Server::serve_eco(const Request& request) {
+  if (eco_ == nullptr) {
+    return error_response(request.id, Verb::kEco, StatusCode::kNotFound,
+                          "eco: daemon started without --eco-design");
+  }
+  StatusOr<EcoEdit> edit = parse_eco_edit(request.text);
+  if (!edit.ok()) {
+    return error_response(request.id, Verb::kEco, edit.status().code(),
+                          edit.status().message());
+  }
+
+  EcoResult result;
+  std::size_t n_cells = 0;
+  std::string design_name;
+  {
+    std::lock_guard<std::mutex> lock(eco_mu_);
+    try {
+      result = eco_->apply(edit.value());
+    } catch (const std::invalid_argument& e) {
+      return error_response(request.id, Verb::kEco, StatusCode::kInvalid,
+                            std::string("eco: ") + e.what());
+    }
+    n_cells = eco_->num_cells();
+    design_name = eco_->design().name();
+  }
+  eco_edits_.fetch_add(1, std::memory_order_relaxed);
+  obs::counter_add("serve/eco_edits");
+
+  obs::JsonValue doc = obs::JsonValue::make_object();
+  doc["design"] = design_name;
+  doc["cells"] = static_cast<std::uint64_t>(n_cells);
+  doc["edit"] = request.text;
+
+  obs::JsonValue stats = obs::JsonValue::make_object();
+  stats["dirty_cells"] = static_cast<std::uint64_t>(result.stats.dirty_cells);
+  stats["route_dirty_cells"] =
+      static_cast<std::uint64_t>(result.stats.route_dirty_cells);
+  stats["pattern_reused"] =
+      static_cast<std::uint64_t>(result.stats.pattern_reused);
+  stats["maze_reused"] = static_cast<std::uint64_t>(result.stats.maze_reused);
+  stats["maze_recomputed"] =
+      static_cast<std::uint64_t>(result.stats.maze_recomputed);
+  stats["rows_rescored"] =
+      static_cast<std::uint64_t>(result.stats.rows_rescored);
+  doc["stats"] = std::move(stats);
+
+  const auto& feature_names = FeatureSchema::names();
+  obs::JsonValue diff = obs::JsonValue::make_object();
+  diff["appeared"] = static_cast<std::uint64_t>(result.diff.n_appeared);
+  diff["vanished"] = static_cast<std::uint64_t>(result.diff.n_vanished);
+  diff["changed"] = static_cast<std::uint64_t>(result.diff.n_changed);
+  obs::JsonValue entries = obs::JsonValue::make_array();
+  const std::size_t n_on_wire =
+      std::min(result.diff.entries.size(), kMaxDiffEntriesOnWire);
+  for (std::size_t i = 0; i < n_on_wire; ++i) {
+    const HotspotDiffEntry& entry = result.diff.entries[i];
+    obs::JsonValue item = obs::JsonValue::make_object();
+    item["cell"] = static_cast<std::uint64_t>(entry.cell);
+    item["change"] = std::string(change_name(entry.change));
+    item["prob_before"] = entry.prob_before;
+    item["prob_after"] = entry.prob_after;
+    obs::JsonValue deltas = obs::JsonValue::make_array();
+    for (const auto& [feature, delta] : entry.shap_deltas) {
+      obs::JsonValue pair = obs::JsonValue::make_object();
+      pair["feature"] = std::string(feature_names[feature]);
+      pair["delta"] = delta;
+      deltas.push_back(std::move(pair));
+    }
+    item["shap_deltas"] = std::move(deltas);
+    entries.push_back(std::move(item));
+  }
+  diff["entries"] = std::move(entries);
+  diff["entries_truncated"] = result.diff.entries.size() > n_on_wire;
+  doc["diff"] = std::move(diff);
+
+  Response response;
+  response.id = request.id;
+  response.verb = Verb::kEco;
+  response.text = doc.dump(2);
+  return response;
 }
 
 void Server::teardown() {
@@ -360,7 +541,17 @@ std::string Server::stats_json() const {
   };
   latency["score"] = verb_latency(score_latency_);
   latency["explain"] = verb_latency(explain_latency_);
+  latency["eco"] = verb_latency(eco_latency_);
   doc["latency_ms"] = std::move(latency);
+
+  obs::JsonValue eco = obs::JsonValue::make_object();
+  eco["resident"] = eco_ != nullptr;
+  if (eco_ != nullptr) {
+    eco["design"] = options_.eco_design;
+    eco["cells"] = static_cast<std::uint64_t>(eco_->num_cells());
+    eco["edits"] = eco_edits_.load(std::memory_order_relaxed);
+  }
+  doc["eco"] = std::move(eco);
   return doc.dump(2);
 }
 
@@ -369,6 +560,10 @@ void Server::publish_obs_gauges() const {
   obs::gauge_set("serve/score_p99_ms", score_latency_.percentile(99.0));
   obs::gauge_set("serve/explain_p50_ms", explain_latency_.percentile(50.0));
   obs::gauge_set("serve/explain_p99_ms", explain_latency_.percentile(99.0));
+  if (eco_ != nullptr) {
+    obs::gauge_set("serve/eco_p50_ms", eco_latency_.percentile(50.0));
+    obs::gauge_set("serve/eco_p99_ms", eco_latency_.percentile(99.0));
+  }
   obs::gauge_set("serve/models_retired_alive",
                  static_cast<double>(registry_.retired_alive()));
   if (batcher_ != nullptr) {

@@ -20,6 +20,7 @@
 #include <thread>
 #include <vector>
 
+#include "eco/eco_engine.hpp"
 #include "serve/batcher.hpp"
 #include "serve/model_registry.hpp"
 #include "serve/protocol.hpp"
@@ -30,6 +31,13 @@ struct ServerOptions {
   std::string model_path;   ///< forest artifact loaded at start()
   std::string socket_path;  ///< Unix socket; empty = stdin/stdout mode
   BatchOptions batch;
+  /// Non-empty = host a resident EcoEngine for the eco verb: the named
+  /// benchmark-suite design is generated, routed and fully scored at
+  /// start(). Requires the startup model to be trained on the pipeline's
+  /// feature schema. The engine stays pinned to the startup model — a hot
+  /// swap changes score/explain traffic but never a resident diff baseline.
+  std::string eco_design;
+  double eco_scale = 16.0;  ///< generator scale for the resident design
 };
 
 /// Sliding window of per-request latencies for the stats percentiles; the
@@ -95,6 +103,7 @@ class Server {
   void accept_loop();
   void connection_loop(int fd);
   Response dispatch(Request request);
+  Response serve_eco(const Request& request);
   void teardown();
 
   ServerOptions options_;
@@ -117,8 +126,15 @@ class Server {
   std::mutex connections_mu_;
   std::vector<std::unique_ptr<Connection>> connections_;
 
+  // Resident ECO state (socket connections race on it; edits serialize).
+  // Built once at start(), so the pointer itself is safe to read unlocked.
+  std::unique_ptr<EcoEngine> eco_;
+  std::mutex eco_mu_;
+  std::atomic<std::uint64_t> eco_edits_{0};
+
   LatencyRecorder score_latency_;
   LatencyRecorder explain_latency_;
+  LatencyRecorder eco_latency_;
 };
 
 }  // namespace drcshap::serve

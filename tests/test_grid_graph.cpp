@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include "util/rng.hpp"
+
 namespace drcshap {
 namespace {
 
@@ -163,6 +165,109 @@ TEST(GridGraph, HistoryAccumulates) {
   g.add_edge_history(e, 1.5);
   g.add_edge_history(e, 0.5);
   EXPECT_DOUBLE_EQ(g.edge_history(e), 2.0);
+}
+
+TEST(GridGraph, RemoveLoadUndoesAdd) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(0, 0);
+  g.add_edge_load(e, 5);
+  g.remove_edge_load(e, 3);
+  EXPECT_EQ(g.edge_load(e), 2);
+  g.remove_edge_load(e, 2);
+  EXPECT_EQ(g.edge_load(e), 0);
+  g.add_via_load(0, 1, 4);
+  g.remove_via_load(0, 1, 4);
+  EXPECT_EQ(g.via_load(0, 1), 0);
+}
+
+TEST(GridGraph, RemoveBelowZeroThrows) {
+  GridGraph g(empty_design());
+  const EdgeId e = *g.edge_low(0, 0);
+  EXPECT_THROW(g.remove_edge_load(e, 1), std::logic_error);
+  g.add_edge_load(e, 2);
+  EXPECT_THROW(g.remove_edge_load(e, 3), std::logic_error);
+  EXPECT_THROW(g.remove_via_load(0, 0, 1), std::logic_error);
+}
+
+// The incremental O(1) overflow totals must agree with a brute-force
+// recount after *any* interleaving of load adds and removals — the rip-up
+// loops of the router and the ECO engine's replay both lean on this.
+TEST(GridGraph, IncrementalOverflowMatchesBruteForceUnderAddRemove) {
+  GridGraph g(empty_design(5, 4));
+  Rng rng(0xec0);
+  std::vector<int> edge_loads(g.num_edges(), 0);
+  const std::size_t n_via_slots =
+      static_cast<std::size_t>(g.num_via_layers()) * g.num_cells();
+  std::vector<int> via_loads(n_via_slots, 0);
+
+  const auto brute_force_edges = [&] {
+    long total = 0;
+    for (EdgeId e = 0; e < g.num_edges(); ++e) total += g.edge_overflow(e);
+    return total;
+  };
+  const auto brute_force_vias = [&] {
+    long total = 0;
+    for (int v = 0; v < g.num_via_layers(); ++v) {
+      for (std::size_t c = 0; c < g.num_cells(); ++c) {
+        total += g.via_overflow(v, c);
+      }
+    }
+    return total;
+  };
+
+  for (int step = 0; step < 4000; ++step) {
+    if (rng.uniform() < 0.5) {
+      const EdgeId e = static_cast<EdgeId>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.num_edges()) - 1));
+      // Bias toward adding so loads routinely cross capacity in both
+      // directions; removals strip a random slice of what is there.
+      if (edge_loads[e] > 0 && rng.uniform() < 0.4) {
+        const int amount =
+            static_cast<int>(rng.uniform_int(1, edge_loads[e]));
+        g.remove_edge_load(e, amount);
+        edge_loads[e] -= amount;
+      } else {
+        const int delta = static_cast<int>(rng.uniform_int(1, 6));
+        g.add_edge_load(e, delta);
+        edge_loads[e] += delta;
+      }
+    } else {
+      const int v = static_cast<int>(
+          rng.uniform_int(0, g.num_via_layers() - 1));
+      const std::size_t c = static_cast<std::size_t>(
+          rng.uniform_int(0, static_cast<std::int64_t>(g.num_cells()) - 1));
+      const std::size_t slot =
+          static_cast<std::size_t>(v) * g.num_cells() + c;
+      if (via_loads[slot] > 0 && rng.uniform() < 0.4) {
+        const int amount =
+            static_cast<int>(rng.uniform_int(1, via_loads[slot]));
+        g.remove_via_load(v, c, amount);
+        via_loads[slot] -= amount;
+      } else {
+        const int delta = static_cast<int>(rng.uniform_int(1, 30));
+        g.add_via_load(v, c, delta);
+        via_loads[slot] += delta;
+      }
+    }
+    if (step % 97 == 0 || step + 1 == 4000) {
+      ASSERT_EQ(g.total_edge_overflow(), brute_force_edges())
+          << "step " << step;
+      ASSERT_EQ(g.total_via_overflow(), brute_force_vias()) << "step " << step;
+    }
+  }
+
+  // Drain everything: totals must return to exactly zero.
+  for (EdgeId e = 0; e < g.num_edges(); ++e) {
+    if (edge_loads[e] > 0) g.remove_edge_load(e, edge_loads[e]);
+  }
+  for (int v = 0; v < g.num_via_layers(); ++v) {
+    for (std::size_t c = 0; c < g.num_cells(); ++c) {
+      const std::size_t slot = static_cast<std::size_t>(v) * g.num_cells() + c;
+      if (via_loads[slot] > 0) g.remove_via_load(v, c, via_loads[slot]);
+    }
+  }
+  EXPECT_EQ(g.total_edge_overflow(), 0);
+  EXPECT_EQ(g.total_via_overflow(), 0);
 }
 
 }  // namespace

@@ -27,8 +27,10 @@
 #include <thread>
 #include <vector>
 
+#include "benchsuite/pipeline.hpp"
 #include "core/explanation.hpp"
 #include "core/model_io.hpp"
+#include "features/feature_names.hpp"
 #include "core/random_forest.hpp"
 #include "core/tree_shap.hpp"
 #include "obs/json.hpp"
@@ -180,6 +182,32 @@ TEST(ServeProtocol, GlobalExplainRoundTrip) {
   EXPECT_EQ(decoded.value().n_rows, 2u);
   EXPECT_EQ(decoded.value().base_value, 0.125);
   EXPECT_EQ(decoded.value().values, response.values);
+}
+
+TEST(ServeProtocol, EcoRoundTrip) {
+  Request request;
+  request.id = 77;
+  request.verb = Verb::kEco;
+  request.text = "move 2 1.5 -0.5";
+  const auto decoded_request = decode_request(encode_request(request));
+  ASSERT_TRUE(decoded_request.ok()) << decoded_request.status().to_string();
+  EXPECT_EQ(decoded_request.value().verb, Verb::kEco);
+  EXPECT_EQ(decoded_request.value().text, request.text);
+
+  Response response;
+  response.id = 77;
+  response.verb = Verb::kEco;
+  response.text = "{\"diff\": {\"appeared\": 1}}";
+  const auto decoded = decode_response(encode_response(response));
+  ASSERT_TRUE(decoded.ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().verb, Verb::kEco);
+  EXPECT_EQ(decoded.value().text, response.text);
+
+  const Response error = error_response(78, Verb::kEco, StatusCode::kInvalid,
+                                        "eco: unknown edit op 'wiggle'");
+  const auto decoded_error = decode_response(encode_response(error));
+  ASSERT_TRUE(decoded_error.ok());
+  EXPECT_EQ(decoded_error.value().status, StatusCode::kInvalid);
 }
 
 TEST(ServeProtocol, RejectsCorruption) {
@@ -762,6 +790,120 @@ TEST_F(ServerFixture, OversizedRequestIsRejectedNotServed) {
   const auto decoded = decode_response(frame.value());
   ASSERT_TRUE(decoded.ok());
   EXPECT_EQ(decoded.value().status, StatusCode::kCorrupt);
+}
+
+TEST_F(ServerFixture, EcoWithoutResidentDesignIsTypedNotFound) {
+  ServeClient client(socket_path);
+  Request request;
+  request.id = 9;
+  request.verb = Verb::kEco;
+  request.text = "move 0 1.0 0.0";
+  const Response response = client.call(request);
+  EXPECT_EQ(response.status, StatusCode::kNotFound);
+  // The daemon keeps serving after the typed rejection.
+  const Response score = client.call(
+      matrix_request(10, Verb::kScore, 1, 6, random_rows(56, 1, 6)));
+  EXPECT_EQ(score.status, StatusCode::kOk);
+}
+
+// Socket server with a resident ECO design: a pipeline-schema model is
+// trained once (fft_2, scaled), and every test serves edits against a
+// resident scaled bridge32_a.
+struct EcoServerFixture : ::testing::Test {
+  static void SetUpTestSuite() {
+    PipelineOptions options;
+    options.generator.scale = 16.0;
+    Dataset train(FeatureSchema::kNumFeatures, FeatureSchema::names());
+    train.append(run_pipeline(suite_spec("fft_2"), options).samples);
+    RandomForestOptions forest_options;
+    forest_options.n_trees = 25;
+    RandomForestClassifier forest(forest_options);
+    forest.fit(train);
+    save_forest_file(forest, kModelPath);
+  }
+  static void TearDownTestSuite() { std::remove(kModelPath); }
+
+  void SetUp() override {
+    socket_path = "/tmp/drcshap_serve_eco.sock";
+    ServerOptions options;
+    options.model_path = kModelPath;
+    options.socket_path = socket_path;
+    options.batch.flush_us = 100;
+    options.eco_design = "bridge32_a";
+    options.eco_scale = 16.0;
+    server = std::make_unique<Server>(options);
+    ASSERT_TRUE(server->start().ok());
+    runner = std::thread([this] { server->run(); });
+  }
+  void TearDown() override {
+    server->request_shutdown();
+    if (runner.joinable()) runner.join();
+    server.reset();
+  }
+
+  static Request eco_request(std::uint64_t id, std::string text) {
+    Request request;
+    request.id = id;
+    request.verb = Verb::kEco;
+    request.text = std::move(text);
+    return request;
+  }
+
+  static constexpr const char* kModelPath = "/tmp/drcshap_serve_eco.forest";
+  std::string socket_path;
+  std::unique_ptr<Server> server;
+  std::thread runner;
+};
+
+TEST_F(EcoServerFixture, EditDiffRoundTripOverSocket) {
+  ServeClient client(socket_path);
+  const Response response = client.call(eco_request(1, "move 0 5.0 0.0"));
+  ASSERT_EQ(response.status, StatusCode::kOk) << response.message;
+
+  const auto doc = obs::JsonValue::parse(response.text);
+  EXPECT_EQ(doc.at("design").as_string(), "bridge32_a");
+  EXPECT_EQ(doc.at("edit").as_string(), "move 0 5.0 0.0");
+  EXPECT_GT(doc.at("cells").as_number(), 0.0);
+  EXPECT_GT(doc.at("stats").at("dirty_cells").as_number(), 0.0);
+  EXPECT_EQ(doc.at("stats").at("rows_rescored").as_number(),
+            doc.at("stats").at("dirty_cells").as_number());
+  EXPECT_TRUE(doc.at("diff").contains("appeared"));
+  EXPECT_TRUE(doc.at("diff").contains("entries"));
+
+  // Second edit against the same resident state: the engine is stateful,
+  // so moving the macro back also succeeds and counts as another edit.
+  const Response undo = client.call(eco_request(2, "move 0 -5.0 0.0"));
+  ASSERT_EQ(undo.status, StatusCode::kOk) << undo.message;
+
+  Request stats_request;
+  stats_request.id = 3;
+  stats_request.verb = Verb::kStats;
+  const Response stats = client.call(stats_request);
+  ASSERT_EQ(stats.status, StatusCode::kOk);
+  const auto stats_doc = obs::JsonValue::parse(stats.text);
+  EXPECT_TRUE(stats_doc.at("eco").at("resident").as_bool());
+  EXPECT_EQ(stats_doc.at("eco").at("design").as_string(), "bridge32_a");
+  EXPECT_EQ(stats_doc.at("eco").at("edits").as_number(), 2.0);
+  EXPECT_TRUE(stats_doc.at("latency_ms").at("eco").contains("p99_ms"));
+}
+
+TEST_F(EcoServerFixture, MalformedAndInvalidEditsAreTypedErrors) {
+  ServeClient client(socket_path);
+  // Parse errors: unknown op, missing operands, trailing garbage.
+  for (const char* bad : {"wiggle 3", "move 0", "move 0 1.0 0.0 extra", ""}) {
+    const Response response = client.call(eco_request(1, bad));
+    EXPECT_EQ(response.status, StatusCode::kInvalid) << bad;
+  }
+  // Well-formed but semantically invalid: the engine rejects it and the
+  // resident state survives.
+  const Response unknown_macro =
+      client.call(eco_request(2, "move 9999 1.0 0.0"));
+  EXPECT_EQ(unknown_macro.status, StatusCode::kInvalid);
+  const Response unknown_net = client.call(eco_request(3, "reroute no_such"));
+  EXPECT_EQ(unknown_net.status, StatusCode::kInvalid);
+
+  const Response ok = client.call(eco_request(4, "move 0 1.0 0.0"));
+  EXPECT_EQ(ok.status, StatusCode::kOk) << ok.message;
 }
 
 // --------------------------------------------------- run-report merging

@@ -5,8 +5,11 @@
 //   drcshap_serve --make-fixture MODEL.forest [--features N --rows N
 //                 --trees N --seed S]
 //
-// Serves score/explain/reload/stats/shutdown over the length-prefixed
-// binary protocol of src/serve/protocol.hpp. SIGHUP hot-swaps the model
+// Serves score/explain/reload/stats/shutdown/global-explain/eco over the
+// length-prefixed binary protocol of src/serve/protocol.hpp. With
+// --eco-design the daemon additionally holds a fully scored suite design
+// resident and serves edit -> hotspot-diff round trips against it.
+// SIGHUP hot-swaps the model
 // (re-reads the artifact in place); SIGINT/SIGTERM drain and exit. A run
 // report is written at exit ($DRCSHAP_RUNREPORT, with
 // $DRCSHAP_RUNREPORT_PER_PROCESS=1 adding a .pid suffix so a co-located
@@ -47,8 +50,44 @@ int usage(const char* argv0) {
       "usage: %s --model PATH (--socket PATH | --stdio)\n"
       "          [--max-batch ROWS] [--flush-us US] [--threads N]\n"
       "          [--engine auto|exact|compiled] [--explain-cache on|off]\n"
+      "          [--eco-design NAME] [--eco-scale S]\n"
       "       %s --make-fixture PATH [--features N] [--rows N] [--trees N]\n"
-      "          [--seed S]\n",
+      "          [--seed S]\n"
+      "\n"
+      "verbs (length-prefixed binary protocol, src/serve/protocol.hpp):\n"
+      "  score           probabilities for a float32 feature matrix\n"
+      "  explain         per-row SHAP values + base value\n"
+      "  reload          hot-swap the model artifact (also: SIGHUP)\n"
+      "  stats           JSON snapshot: model/queue/batch/cache/latency/eco\n"
+      "  shutdown        drain in-flight work, then exit\n"
+      "  global-explain  streaming per-feature SHAP aggregates (O(features)\n"
+      "                  reply regardless of row count)\n"
+      "  eco             apply one edit (move/resize/reroute) to the\n"
+      "                  resident --eco-design and reply with the re-route\n"
+      "                  stats and before/after hotspot diff as JSON\n"
+      "\n"
+      "flags:\n"
+      "  --model PATH        forest artifact to serve\n"
+      "  --socket PATH       Unix stream socket (daemon mode)\n"
+      "  --stdio             serve one connection on stdin/stdout\n"
+      "  --max-batch ROWS    batcher row cap per dispatched batch\n"
+      "  --flush-us US       batcher flush window in microseconds\n"
+      "  --threads N         worker threads per batch (0 = whole pool)\n"
+      "  --engine E          forest engine: auto|exact|compiled\n"
+      "  --explain-cache M   on|off; exports DRCSHAP_EXPLAIN_CACHE\n"
+      "  --eco-design NAME   benchmark-suite design to hold resident for\n"
+      "                      the eco verb (requires a pipeline-schema model)\n"
+      "  --eco-scale S       generator scale for the resident design\n"
+      "                      (default 16; 1 = full size)\n"
+      "\n"
+      "environment kill switches (read per call unless noted):\n"
+      "  DRCSHAP_EXPLAIN_CACHE=0   disable the explanation cache\n"
+      "  DRCSHAP_SHAP_FAST=0       disable the batched TreeSHAP fast path\n"
+      "  DRCSHAP_SIMD=0            disable AVX2 kernels (scalar fallback)\n"
+      "  DRCSHAP_FOREST_ENGINE=exact|compiled  override engine resolution\n"
+      "  DRCSHAP_THREADS=N         cap the shared thread pool (at startup)\n"
+      "  DRCSHAP_RUNREPORT=PATH    write the exit run report here\n"
+      "  DRCSHAP_RUNREPORT_PER_PROCESS=1  suffix the report with .pid\n",
       argv0, argv0);
   return 2;
 }
@@ -142,6 +181,10 @@ int main(int argc, char** argv) {
       } else {
         return usage(argv[0]);
       }
+    } else if (arg == "--eco-design") {
+      options.eco_design = next_arg(i);
+    } else if (arg == "--eco-scale") {
+      options.eco_scale = std::strtod(next_arg(i), nullptr);
     } else if (arg == "--make-fixture") {
       fixture_mode = true;
       fixture.path = next_arg(i);
